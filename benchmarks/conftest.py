@@ -1,0 +1,22 @@
+"""Benchmark-harness configuration.
+
+Each ``test_bench_*`` file regenerates one published table/figure
+under pytest-benchmark (single round: the figures are deterministic
+end-to-end computations, and the timing of interest is "how long a
+regeneration takes", not micro-variance).
+"""
+
+import pytest
+
+
+@pytest.fixture
+def regenerate(benchmark):
+    """Run an experiment once under the benchmark clock and return
+    its result for shape assertions."""
+
+    def _run(fn, *args, **kwargs):
+        return benchmark.pedantic(
+            fn, args=args, kwargs=kwargs, rounds=1, iterations=1
+        )
+
+    return _run

@@ -1,0 +1,11 @@
+"""Bench: the ablation studies (design-choice sensitivity sweeps)."""
+
+import pytest
+
+from repro.experiments.ablations import ABLATIONS
+
+
+@pytest.mark.parametrize("name", sorted(ABLATIONS))
+def test_bench_ablation(regenerate, name):
+    result = regenerate(ABLATIONS[name])
+    assert result.rows

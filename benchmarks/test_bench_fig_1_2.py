@@ -1,0 +1,8 @@
+"""Bench: regenerate Fig. 1.2 (speculation vs. error probability)."""
+
+from repro.experiments import fig_1_2
+
+
+def test_bench_fig_1_2(regenerate):
+    result = regenerate(fig_1_2.run)
+    assert result.notes["u_shape_holds"]

@@ -1,0 +1,10 @@
+"""Bench: regenerate Fig. 3.5 (Radix per-thread error curves)."""
+
+from repro.experiments import fig_3_5
+
+
+def test_bench_fig_3_5(regenerate):
+    result = regenerate(fig_3_5.run)
+    assert result.notes["critical thread"] == 0
+    spread = float(result.notes["max/min spread at deep speculation"].rstrip("x"))
+    assert 3.0 <= spread <= 5.0  # paper: ~4x

@@ -1,0 +1,10 @@
+"""Bench: regenerate Fig. 3.6 (the SynTS motivational example)."""
+
+from repro.experiments import fig_3_6
+
+
+def test_bench_fig_3_6(regenerate):
+    result = regenerate(fig_3_6.run)
+    rows = {r[0]: (r[1], r[2]) for r in result.rows}
+    time2, energy2 = rows["(c) step 2: + voltage down-scale"]
+    assert time2 < 1.0 and energy2 < 1.0  # paper: ~7 % gains on both axes

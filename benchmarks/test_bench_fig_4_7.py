@@ -1,0 +1,10 @@
+"""Bench: regenerate Fig. 4.7 (sampling-phase schedule)."""
+
+from repro.experiments import fig_4_7
+
+
+def test_bench_fig_4_7(regenerate):
+    result = regenerate(fig_4_7.run)
+    *levels, final = result.rows
+    assert len(levels) == 6  # S = 6 frequency levels
+    assert sum(r[2] for r in levels) == 50_000  # N_samp

@@ -1,0 +1,9 @@
+"""Bench: regenerate Fig. 5.10 (VALU Hamming-distance histograms)."""
+
+from repro.experiments import fig_5_10
+
+
+def test_bench_fig_5_10(regenerate):
+    result = regenerate(fig_5_10.run)
+    assert bool(result.notes["homogeneous"])
+    assert len(result.series) == 6

@@ -1,0 +1,21 @@
+"""Bench: regenerate Figs. 6.11-6.16 (offline Pareto curves).
+
+One benchmark target per published figure; each asserts the figure's
+qualitative claim (SynTS never strictly dominated; positive gaps on
+the four annotated figures).
+"""
+
+import pytest
+
+from repro.experiments.pareto_figs import PARETO_FIGURES, run_figure
+
+ANNOTATED = {"fig_6_11", "fig_6_12", "fig_6_13", "fig_6_14"}
+
+
+@pytest.mark.parametrize("figure_id", sorted(PARETO_FIGURES))
+def test_bench_pareto_figure(regenerate, figure_id):
+    result = regenerate(run_figure, figure_id)
+    assert {s.label for s in result.series} == {"SynTS", "Per-core TS", "No TS"}
+    if figure_id in ANNOTATED:
+        energy_gap = result.notes["energy gap vs Per-core TS"]
+        assert float(energy_gap.rstrip("%")) > 0.0

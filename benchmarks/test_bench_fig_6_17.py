@@ -1,0 +1,11 @@
+"""Bench: regenerate Fig. 6.17 (actual vs. estimated error curves)."""
+
+from repro.experiments import fig_6_17
+
+
+def test_bench_fig_6_17(regenerate):
+    results = regenerate(fig_6_17.run)
+    assert set(results) == {"radix", "fmm"}
+    for name, result in results.items():
+        assert result.notes["critical thread identified"], name
+        assert result.notes["max |actual - estimated|"] < 0.02, name

@@ -1,0 +1,14 @@
+"""Bench: regenerate Fig. 6.18 (normalised EDP, 7 benchmarks x 3
+stages, online SynTS / No-TS / Nominal vs offline SynTS)."""
+
+from repro.experiments import fig_6_18
+
+
+def test_bench_fig_6_18(regenerate):
+    result = regenerate(fig_6_18.run)
+    assert len(result.rows) == 21
+    overhead = float(result.notes["mean online overhead"].split("%")[0])
+    assert 0.0 <= overhead <= 25.0  # paper: 10.3 %
+    for stage, name, online, no_ts, nominal in result.rows:
+        assert online < no_ts + 0.02, (stage, name)
+        assert online < nominal + 0.02, (stage, name)

@@ -1,0 +1,12 @@
+"""Bench: regenerate the abstract's headline EDP reductions."""
+
+from repro.experiments import headline
+
+
+def test_bench_headline(regenerate):
+    result = regenerate(headline.run)
+    gains = {row[0]: float(row[1].rstrip("%")) for row in result.rows}
+    # paper: up to 26 % / 25 % / 7.5 % vs per-core TS
+    assert 20.0 <= gains["decode"] <= 30.0
+    assert 20.0 <= gains["simple_alu"] <= 30.0
+    assert 4.0 <= gains["complex_alu"] <= 11.0

@@ -1,0 +1,11 @@
+"""Bench: regenerate the Section 6.3 hardware-overhead study."""
+
+from repro.experiments import overhead_study
+
+
+def test_bench_overhead(regenerate):
+    result = regenerate(overhead_study.run)
+    area = float(result.notes["area overhead"].split("%")[0])
+    power = float(result.notes["power overhead"].split("%")[0])
+    assert 2.0 <= area <= 3.5  # paper ~2.7 %
+    assert 2.5 <= power <= 4.5  # paper ~3.41 %

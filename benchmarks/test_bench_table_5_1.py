@@ -1,0 +1,11 @@
+"""Bench: regenerate Table 5.1 (voltage vs. nominal clock period)."""
+
+from repro.experiments import table_5_1
+
+
+def test_bench_table_5_1(regenerate):
+    result = regenerate(table_5_1.run)
+    assert len(result.rows) == 7
+    # every regenerated multiplier within the documented 12 % band
+    for _vdd, paper, regen in result.rows:
+        assert abs(regen - paper) / paper < 0.12

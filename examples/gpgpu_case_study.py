@@ -1,0 +1,75 @@
+#!/usr/bin/env python3
+"""GPGPU case study: why SynTS is *not* needed on the HD 7970.
+
+Executes all nine characterised kernels on one SIMD unit of the
+Radeon HD 7970 model (16 vector ALUs in lockstep, 16k+ outputs per
+lane) and computes the successive-output Hamming-distance histograms
+of Fig. 5.10.  Near-identical histograms mean homogeneous switching
+activity, hence homogeneous error probabilities across VALUs -- so
+per-core timing speculation already captures all the benefit.
+
+Run:  python examples/gpgpu_case_study.py
+"""
+
+from repro.analysis import format_table
+from repro.gpgpu import GPGPU_KERNELS, HD7970, analyze_valus
+
+
+def main() -> None:
+    gpu = HD7970()
+    cfg = gpu.config
+    print(
+        f"Radeon HD 7970 model: {cfg.n_compute_units} CUs x "
+        f"{cfg.simd_per_cu} SIMD x {cfg.lanes_per_simd} lanes = "
+        f"{gpu.total_lanes} VALUs; wavefront = {cfg.wavefront_size}\n"
+    )
+
+    rows = []
+    for name in sorted(GPGPU_KERNELS):
+        traces = gpu.characterize_simd(
+            name, n_work_items=4096, instructions_per_item=128
+        )
+        analysis = analyze_valus(traces)
+        rows.append(
+            (
+                name,
+                traces[0].n_outputs,
+                round(float(analysis.mean_distance.mean()), 2),
+                round(analysis.max_pairwise_tv, 3),
+                "homogeneous" if analysis.is_homogeneous else "HETEROGENEOUS",
+            )
+        )
+    print(
+        format_table(
+            [
+                "kernel",
+                "outputs/lane",
+                "mean Hamming dist.",
+                "max pairwise TV",
+                "verdict",
+            ],
+            rows,
+        )
+    )
+    print(
+        "\npaper's conclusion: all GPGPU benchmarks homogeneous -> "
+        "per-core timing speculation works 'just fine' on this "
+        "architecture; SynTS targets CMPs."
+    )
+
+    # Close the inference mechanically: run one kernel's lane operand
+    # streams through the synthesised ComplexALU and compare the
+    # resulting per-lane error-probability curves.
+    from repro.gpgpu import characterize_lane_errors
+
+    curves = characterize_lane_errors("matrix_mult", n_lanes=4)
+    print("\nper-lane error curves through the ComplexALU netlist "
+          f"(matrix_mult, r = {list(curves.ratios)}):")
+    for lane, row in enumerate(curves.curves):
+        print(f"  VALU{lane}: " + "  ".join(f"{v:.4f}" for v in row))
+    print(f"max spread across lanes: {curves.max_spread():.2f}x "
+          "(CMP threads show ~4x -> GPGPU lanes are homogeneous)")
+
+
+if __name__ == "__main__":
+    main()

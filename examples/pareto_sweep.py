@@ -1,0 +1,28 @@
+#!/usr/bin/env python3
+"""Regenerate a published Pareto figure in the terminal.
+
+Sweeps the energy/time weight theta for SynTS, Per-core TS and No-TS
+on Cholesky/Decode (the paper's Fig. 6.13) and renders the normalised
+energy-vs-time scatter as ASCII, with the callout gaps the figure
+annotates.
+
+Run:  python examples/pareto_sweep.py [figure_id]
+      figure_id in fig_6_11 .. fig_6_16 (default fig_6_13)
+"""
+
+import sys
+
+from repro.experiments.pareto_figs import PARETO_FIGURES, run_figure
+
+
+def main() -> None:
+    figure = sys.argv[1] if len(sys.argv) > 1 else "fig_6_13"
+    if figure not in PARETO_FIGURES:
+        raise SystemExit(
+            f"unknown figure {figure!r}; choose from {sorted(PARETO_FIGURES)}"
+        )
+    print(run_figure(figure).render())
+
+
+if __name__ == "__main__":
+    main()

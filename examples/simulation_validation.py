@@ -1,0 +1,81 @@
+#!/usr/bin/env python3
+"""Validate the analytic model against the discrete-event simulator.
+
+The optimisation layer trusts the closed-form Eqs. 4.1-4.3.  This
+script executes a SynTS decision instruction-by-instruction on the
+barrier-synchronised multi-core simulator (Razor error injection,
+5-cycle replays, barrier waits) and compares against the analytic
+prediction -- then does the same for the full online controller.
+
+Run:  python examples/simulation_validation.py
+"""
+
+import numpy as np
+
+from repro import build_benchmark, solve_synts_poly
+from repro.analysis import format_table
+from repro.arch import MultiCoreSim, simulate_online_interval
+from repro.core import OnlineKnobs, interval_problems, run_online_interval
+
+
+def main() -> None:
+    problem = interval_problems(build_benchmark("radix"), "simple_alu")[0]
+    theta = problem.equal_weight_theta()
+    solution = solve_synts_poly(problem, theta)
+
+    sim = MultiCoreSim(config=problem.config, seed=11)
+    stats = sim.run_interval(problem.threads, solution.assignment)
+
+    print("SynTS decision executed on the multi-core simulator "
+          "(Radix, SimpleALU):\n")
+    rows = []
+    for i, (analytic_t, core) in enumerate(
+        zip(solution.evaluation.times, stats.core_results)
+    ):
+        rows.append(
+            (
+                f"T{i}",
+                f"{analytic_t:.3e}",
+                f"{core.time:.3e}",
+                f"{abs(core.time / analytic_t - 1) * 100:.2f}%",
+                core.errors,
+                f"{stats.wait_times[i]:.2e}",
+            )
+        )
+    print(
+        format_table(
+            [
+                "thread",
+                "analytic time (Eq. 4.2)",
+                "simulated time",
+                "deviation",
+                "razor errors",
+                "barrier wait",
+            ],
+            rows,
+        )
+    )
+    print(
+        f"\nbarrier time: analytic {solution.evaluation.texec:.3e}, "
+        f"simulated {stats.texec:.3e} "
+        f"({abs(stats.texec / solution.evaluation.texec - 1) * 100:.2f}% off)"
+    )
+
+    knobs = OnlineKnobs(n_samp=50_000)
+    analytic = run_online_interval(
+        problem, theta, np.random.default_rng(3), knobs
+    )
+    simulated = simulate_online_interval(
+        problem.threads, theta, problem.config, knobs, seed=3
+    )
+    a_edp = analytic.total_energy * analytic.texec
+    print(
+        f"\nonline controller, one interval:"
+        f"\n  analytic  (Binomial sampling)      EDP {a_edp:.4e}"
+        f"\n  simulated (instruction-level)      EDP {simulated.edp:.4e}"
+        f"\n  agreement: {abs(simulated.edp / a_edp - 1) * 100:.2f}%"
+    )
+
+
+if __name__ == "__main__":
+    main()

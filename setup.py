@@ -1,0 +1,10 @@
+"""Setup shim.
+
+The canonical metadata lives in pyproject.toml; this file exists so
+``pip install -e .`` works on environments whose setuptools lacks PEP
+660 editable-wheel support (no ``wheel`` package available offline).
+"""
+
+from setuptools import setup
+
+setup()

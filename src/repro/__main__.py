@@ -1,0 +1,82 @@
+"""Command-line entry point: regenerate published artifacts.
+
+Usage::
+
+    python -m repro list                 # available experiments
+    python -m repro run fig_6_18         # regenerate one artifact
+    python -m repro run all              # regenerate everything
+    python -m repro ablation heterogeneity
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Dict
+
+
+def _print_result(result) -> None:
+    # pareto_figs.run / fig_6_17.run return dicts of results
+    if isinstance(result, dict):
+        for item in result.values():
+            print(item.render())
+            print()
+    else:
+        print(result.render())
+
+
+def main(argv=None) -> int:
+    from repro.experiments import EXPERIMENTS
+    from repro.experiments.ablations import ABLATIONS
+
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="SynTS reproduction: regenerate the paper's tables "
+        "and figures",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+    sub.add_parser("list", help="list experiment and ablation ids")
+    run_p = sub.add_parser("run", help="regenerate an experiment (or 'all')")
+    run_p.add_argument("experiment", help="experiment id from 'list', or 'all'")
+    abl_p = sub.add_parser("ablation", help="run an ablation study (or 'all')")
+    abl_p.add_argument("name", help="ablation id from 'list', or 'all'")
+
+    args = parser.parse_args(argv)
+    if args.command == "list":
+        print("experiments:")
+        for name in EXPERIMENTS:
+            print(f"  {name}")
+        print("ablations:")
+        for name in ABLATIONS:
+            print(f"  {name}")
+        return 0
+    if args.command == "run":
+        if args.experiment == "all":
+            for name, fn in EXPERIMENTS.items():
+                _print_result(fn())
+                print()
+            return 0
+        if args.experiment not in EXPERIMENTS:
+            print(
+                f"unknown experiment {args.experiment!r}; try 'list'",
+                file=sys.stderr,
+            )
+            return 2
+        _print_result(EXPERIMENTS[args.experiment]())
+        return 0
+    if args.command == "ablation":
+        if args.name == "all":
+            for fn in ABLATIONS.values():
+                _print_result(fn())
+                print()
+            return 0
+        if args.name not in ABLATIONS:
+            print(f"unknown ablation {args.name!r}; try 'list'", file=sys.stderr)
+            return 2
+        _print_result(ABLATIONS[args.name]())
+        return 0
+    return 2  # pragma: no cover
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,6 @@
+"""Reporting and ASCII plotting helpers for the experiment drivers."""
+
+from .plots import ascii_bars, ascii_scatter
+from .report import Series, format_kv, format_table
+
+__all__ = ["format_table", "format_kv", "Series", "ascii_scatter", "ascii_bars"]

@@ -1,0 +1,77 @@
+"""ASCII plotting for terminal-rendered figures.
+
+The repository has no GUI dependency; figures regenerate as ASCII
+scatter/bar charts that show the same qualitative shapes as the
+paper's plots (who is above whom, where curves cross).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+from .report import Series
+
+__all__ = ["ascii_scatter", "ascii_bars"]
+
+_MARKERS = "ox+*#@%&"
+
+
+def ascii_scatter(
+    series: Sequence[Series],
+    width: int = 64,
+    height: int = 20,
+    x_label: str = "x",
+    y_label: str = "y",
+) -> str:
+    """Scatter multiple series on one character grid."""
+    if not series:
+        raise ValueError("need at least one series")
+    xs = [v for s in series for v in s.x]
+    ys = [v for s in series for v in s.y]
+    if not xs:
+        raise ValueError("series contain no points")
+    x_min, x_max = min(xs), max(xs)
+    y_min, y_max = min(ys), max(ys)
+    x_span = (x_max - x_min) or 1.0
+    y_span = (y_max - y_min) or 1.0
+
+    grid = [[" "] * width for _ in range(height)]
+    for idx, s in enumerate(series):
+        marker = _MARKERS[idx % len(_MARKERS)]
+        for x, y in zip(s.x, s.y):
+            col = int((x - x_min) / x_span * (width - 1))
+            row = height - 1 - int((y - y_min) / y_span * (height - 1))
+            grid[row][col] = marker
+
+    lines = [f"{y_label} ({y_min:.3g} .. {y_max:.3g})"]
+    lines += ["|" + "".join(r) for r in grid]
+    lines.append("+" + "-" * width)
+    lines.append(f" {x_label} ({x_min:.3g} .. {x_max:.3g})")
+    legend = "  ".join(
+        f"{_MARKERS[i % len(_MARKERS)]} {s.label}" for i, s in enumerate(series)
+    )
+    lines.append(f" legend: {legend}")
+    return "\n".join(lines)
+
+
+def ascii_bars(
+    labels: Sequence[str],
+    groups: Dict[str, Sequence[float]],
+    width: int = 40,
+) -> str:
+    """Grouped horizontal bars: one block per label, one bar per group."""
+    if not groups:
+        raise ValueError("need at least one group")
+    for name, vals in groups.items():
+        if len(vals) != len(labels):
+            raise ValueError(f"group {name!r} has {len(vals)} values for "
+                             f"{len(labels)} labels")
+    peak = max(max(v) for v in groups.values()) or 1.0
+    name_w = max(len(n) for n in groups)
+    lines: List[str] = []
+    for i, label in enumerate(labels):
+        lines.append(f"{label}:")
+        for name, vals in groups.items():
+            bar = "#" * max(1, int(vals[i] / peak * width))
+            lines.append(f"  {name.ljust(name_w)} |{bar} {vals[i]:.3f}")
+    return "\n".join(lines)

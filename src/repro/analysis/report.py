@@ -1,0 +1,61 @@
+"""Tabular/series reporting helpers for the experiment drivers.
+
+Every experiment renders its result as plain text: an aligned table
+(the same rows the paper's tables/figure captions report) plus
+paper-vs-measured notes.  Keeping the formatting in one place makes
+the drivers small and the output uniform.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence, Tuple
+
+__all__ = ["format_table", "format_kv", "Series"]
+
+
+def format_table(
+    headers: Sequence[str], rows: Sequence[Sequence[object]]
+) -> str:
+    """Fixed-width aligned text table."""
+    cells = [[str(h) for h in headers]] + [
+        [_fmt(c) for c in row] for row in rows
+    ]
+    widths = [max(len(r[i]) for r in cells) for i in range(len(headers))]
+    lines = []
+    for n, row in enumerate(cells):
+        lines.append("  ".join(c.ljust(w) for c, w in zip(row, widths)))
+        if n == 0:
+            lines.append("  ".join("-" * w for w in widths))
+    return "\n".join(lines)
+
+
+def _fmt(value: object) -> str:
+    if isinstance(value, float):
+        return f"{value:.4g}"
+    return str(value)
+
+
+def format_kv(pairs: Dict[str, object]) -> str:
+    """Aligned key/value block (for paper-vs-measured notes)."""
+    if not pairs:
+        return ""
+    width = max(len(k) for k in pairs)
+    return "\n".join(f"{k.ljust(width)} : {_fmt(v)}" for k, v in pairs.items())
+
+
+@dataclass(frozen=True)
+class Series:
+    """A named (x, y) series -- one curve of a figure."""
+
+    label: str
+    x: Tuple[float, ...]
+    y: Tuple[float, ...]
+
+    def __post_init__(self):
+        if len(self.x) != len(self.y):
+            raise ValueError(f"series {self.label!r}: x/y length mismatch")
+
+    @property
+    def n_points(self) -> int:
+        return len(self.x)

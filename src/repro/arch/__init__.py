@@ -1,0 +1,30 @@
+"""Architectural substrate: Razor pipelines, instruction traces, a
+barrier-synchronised multi-core simulator, and the instruction-level
+online controller (the repo's gem5 stand-in; see DESIGN.md Sec. 2)."""
+
+from .multicore import BarrierIntervalStats, MultiCoreSim
+from .online_sim import SimulatedOnlineOutcome, simulate_online_interval
+from .pipeline import CoreResult, SteppedPipeline, execute_trace
+from .razor import RazorStage, RazorStats
+from .trace import (
+    MEMORY_LATENCY,
+    InstructionTrace,
+    sample_delays_from_error_function,
+    trace_for_thread,
+)
+
+__all__ = [
+    "RazorStage",
+    "RazorStats",
+    "InstructionTrace",
+    "MEMORY_LATENCY",
+    "sample_delays_from_error_function",
+    "trace_for_thread",
+    "CoreResult",
+    "execute_trace",
+    "SteppedPipeline",
+    "MultiCoreSim",
+    "BarrierIntervalStats",
+    "SimulatedOnlineOutcome",
+    "simulate_online_interval",
+]

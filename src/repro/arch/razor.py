@@ -1,0 +1,75 @@
+"""Razor-style timing-error detection and recovery model (Fig. 1.1).
+
+A Razor flip-flop shadows each capture flop with a latch clocked on a
+delayed edge; when the combinational output settles after the main
+clock edge but before the shadow edge, the XOR of the two captures
+flags an error and the pipeline replays the instruction.
+
+In normalised delay units (sensitised delay as a fraction of the
+nominal clock period at the current voltage), an instruction whose
+stage delay exceeds the timing-speculation ratio ``r`` mis-captures.
+As long as the delay is within the shadow window (bounded by the
+nominal period, i.e. normalised delay <= 1, which the substrate
+guarantees by construction) the error is *detected* and costs
+``c_penalty`` replay cycles -- the paper's 5-cycle Razor penalty.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+__all__ = ["RazorStage", "RazorStats"]
+
+
+@dataclass
+class RazorStats:
+    """Cumulative error-detection counters for one pipe stage."""
+
+    instructions: int = 0
+    errors: int = 0
+    undetectable: int = 0
+
+    @property
+    def error_rate(self) -> float:
+        return self.errors / self.instructions if self.instructions else 0.0
+
+
+@dataclass
+class RazorStage:
+    """Error detection for one speculative pipe stage.
+
+    Attributes
+    ----------
+    detection_window:
+        Upper bound (in nominal-period units) on delays the shadow
+        latch still captures correctly.  The paper operates within the
+        window; delays beyond it would be silent data corruption and
+        are counted separately (they never occur with the bounded
+        delay models, which tests assert).
+    """
+
+    detection_window: float = 1.0
+    stats: RazorStats = field(default_factory=RazorStats)
+
+    def check(self, normalized_delay: float, tsr: float) -> bool:
+        """Record one instruction; returns True on a timing error."""
+        self.stats.instructions += 1
+        if normalized_delay > self.detection_window:
+            self.stats.undetectable += 1
+            return True
+        if normalized_delay > tsr:
+            self.stats.errors += 1
+            return True
+        return False
+
+    def check_batch(self, normalized_delays: np.ndarray, tsr: float) -> np.ndarray:
+        """Vectorised :meth:`check`; returns the error mask."""
+        d = np.asarray(normalized_delays, dtype=float)
+        undet = d > self.detection_window
+        errors = d > tsr
+        self.stats.instructions += int(d.size)
+        self.stats.undetectable += int(undet.sum())
+        self.stats.errors += int((errors & ~undet).sum())
+        return errors

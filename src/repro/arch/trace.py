@@ -1,0 +1,106 @@
+"""Per-thread instruction traces for the discrete-event simulator.
+
+A trace carries, per instruction, (a) the error-free base latency in
+cycles and (b) the normalised sensitised delay of the speculative pipe
+stage.  Traces are drawn from a thread's workload model: base
+latencies realise the thread's ``CPI_base`` as a mix of single-cycle
+and memory-class instructions, and delays are sampled from the
+thread's error function (inverse-CDF sampling works for any monotone
+error model, including circuit-derived empirical ones).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.core.model import ThreadParams
+from repro.errors.probability import BetaTailErrorFunction, ErrorFunction
+
+__all__ = [
+    "InstructionTrace",
+    "sample_delays_from_error_function",
+    "trace_for_thread",
+]
+
+#: Latency (cycles) of the slow instruction class in the two-point
+#: CPI mix (memory-access-like instructions).
+MEMORY_LATENCY = 5
+
+
+@dataclass(frozen=True)
+class InstructionTrace:
+    """One thread's instruction stream for one barrier interval."""
+
+    base_cycles: np.ndarray
+    delays: np.ndarray
+
+    def __post_init__(self):
+        if self.base_cycles.shape != self.delays.shape:
+            raise ValueError("base_cycles and delays must align")
+        if self.base_cycles.ndim != 1 or len(self.base_cycles) == 0:
+            raise ValueError("trace must be a non-empty 1-D stream")
+
+    @property
+    def n_instructions(self) -> int:
+        return int(len(self.base_cycles))
+
+    @property
+    def mean_cpi(self) -> float:
+        return float(np.mean(self.base_cycles))
+
+    def slice(self, start: int, stop: Optional[int] = None) -> "InstructionTrace":
+        return InstructionTrace(
+            base_cycles=self.base_cycles[start:stop],
+            delays=self.delays[start:stop],
+        )
+
+
+def sample_delays_from_error_function(
+    err: ErrorFunction,
+    n: int,
+    rng: np.random.Generator,
+    grid_points: int = 512,
+) -> np.ndarray:
+    """Draw sensitised delays whose tail reproduces ``err``.
+
+    Uses the exact sampler when the error function exposes one
+    (Beta tails), otherwise inverse-CDF sampling on the survival
+    curve: ``delay = inf{ r : err(r) <= u }`` for ``u ~ U(0, 1)``.
+    """
+    if isinstance(err, BetaTailErrorFunction):
+        return err.sample_delays(n, rng)
+    grid = np.linspace(0.0, 1.0, grid_points)
+    survival = np.clip(err.curve(grid), 0.0, 1.0)
+    u = rng.random(n)
+    # survival is non-increasing over grid; np.interp needs ascending
+    # x, so interpolate on the reversed arrays.
+    return np.interp(u, survival[::-1], grid[::-1])
+
+
+def trace_for_thread(
+    thread: ThreadParams,
+    rng: np.random.Generator,
+    n_instructions: Optional[int] = None,
+) -> InstructionTrace:
+    """Materialise an instruction trace realising a thread's model.
+
+    Base latencies: a two-point mix of 1-cycle ALU ops and
+    ``MEMORY_LATENCY``-cycle memory ops with the exact mean
+    ``CPI_base`` (requires ``1 <= CPI_base <= MEMORY_LATENCY``).
+    """
+    n = n_instructions if n_instructions is not None else thread.n_instructions
+    if n <= 0:
+        raise ValueError("need a positive instruction count")
+    cpi = thread.cpi_base
+    if not (1.0 <= cpi <= MEMORY_LATENCY):
+        raise ValueError(
+            f"CPI_base {cpi} outside the representable mix "
+            f"[1, {MEMORY_LATENCY}]"
+        )
+    p_mem = (cpi - 1.0) / (MEMORY_LATENCY - 1.0)
+    base = np.where(rng.random(n) < p_mem, MEMORY_LATENCY, 1).astype(np.int64)
+    delays = sample_delays_from_error_function(thread.err, n, rng)
+    return InstructionTrace(base_cycles=base, delays=delays)

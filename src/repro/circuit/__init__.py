@@ -1,0 +1,75 @@
+"""Circuit-level substrate: gate library, netlists, STA, logic
+simulation, voltage/delay physics and pipe-stage synthesis.
+
+This package replaces the paper's Synopsys DC + HSPICE + PTM toolchain
+(see DESIGN.md, Section 2).
+"""
+
+from .gates import GATE_LIBRARY, GateType, gate_type
+from .logicsim import TraceResult, evaluate, simulate_trace
+from .netlist import Gate, Netlist, NetlistError
+from .ring_oscillator import (
+    RING_CALIBRATION,
+    RingOscillatorSweep,
+    sweep_ring_oscillator,
+)
+from .sensitize import (
+    SensitizationProfile,
+    characterize_stage,
+    empirical_error_curve,
+)
+from .spice import InverterParams, TransientResult, simulate_inverter_ring
+from .sta import TimingReport, analyze, arrival_times, critical_path
+from .synth import (
+    STAGE_NAMES,
+    PipeStage,
+    build_complex_alu_stage,
+    build_decode_stage,
+    build_simple_alu_stage,
+    get_stage,
+    int_to_bits,
+)
+from .voltage import (
+    TABLE_5_1,
+    VOLTAGE_LEVELS,
+    AlphaPowerModel,
+    Table51Model,
+    fit_alpha_power_model,
+)
+
+__all__ = [
+    "GATE_LIBRARY",
+    "GateType",
+    "gate_type",
+    "Gate",
+    "Netlist",
+    "NetlistError",
+    "TimingReport",
+    "analyze",
+    "arrival_times",
+    "critical_path",
+    "TraceResult",
+    "evaluate",
+    "simulate_trace",
+    "PipeStage",
+    "STAGE_NAMES",
+    "int_to_bits",
+    "build_decode_stage",
+    "build_simple_alu_stage",
+    "build_complex_alu_stage",
+    "get_stage",
+    "SensitizationProfile",
+    "characterize_stage",
+    "empirical_error_curve",
+    "TABLE_5_1",
+    "VOLTAGE_LEVELS",
+    "Table51Model",
+    "AlphaPowerModel",
+    "fit_alpha_power_model",
+    "InverterParams",
+    "TransientResult",
+    "simulate_inverter_ring",
+    "RING_CALIBRATION",
+    "RingOscillatorSweep",
+    "sweep_ring_oscillator",
+]

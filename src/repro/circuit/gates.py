@@ -1,0 +1,196 @@
+"""Standard-cell gate library for the SynTS circuit substrate.
+
+The paper synthesises the IVM Alpha pipe stages with Synopsys Design
+Compiler and characterises gate delays with HSPICE/PTM at 22 nm.  We
+replace that flow with a small, fully specified standard-cell library:
+each cell has a logic function, a nominal intrinsic delay, a
+load-dependent delay slope, a switching energy and an area.  Delay
+numbers are in arbitrary "ps-like" units -- every consumer of this
+library normalises delays against the static critical path of the
+netlist, exactly as the paper normalises clock periods against the
+rated period.
+
+Voltage dependence is *not* baked into the cells; all cell delays scale
+by a common multiplier supplied by :mod:`repro.circuit.voltage`
+(the uniform-scaling assumption that also underlies the paper's
+Section 4.3 voltage extrapolation).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Optional, Tuple
+
+__all__ = [
+    "GateType",
+    "GATE_LIBRARY",
+    "gate_type",
+    "INV",
+    "BUF",
+    "NAND2",
+    "NAND3",
+    "NOR2",
+    "NOR3",
+    "AND2",
+    "AND3",
+    "OR2",
+    "OR3",
+    "XOR2",
+    "XNOR2",
+    "MUX2",
+    "TIEHI",
+    "TIELO",
+]
+
+
+@dataclass(frozen=True)
+class GateType:
+    """A combinational standard cell.
+
+    Attributes
+    ----------
+    name:
+        Library cell name (e.g. ``"NAND2"``).
+    n_inputs:
+        Number of input pins.
+    func:
+        Boolean function mapping an input tuple to the output value.
+    controlling:
+        Optional ``(value, output)`` pair: if *any* input carries
+        ``value``, the output is forced to ``output`` regardless of the
+        other inputs.  Used by the floating-mode sensitisation analysis
+        in :mod:`repro.circuit.logicsim` (a controlling input that
+        settles early lets the output settle early).  ``None`` for
+        cells without a controlling value (XOR, MUX).
+    delay:
+        Intrinsic propagation delay (arbitrary units, at Vdd = 1.0).
+    delay_per_fanout:
+        Additional delay per fanout load.
+    energy:
+        Switching energy per output transition (arbitrary fJ-like
+        units, at Vdd = 1.0; scales with V^2 in consumers).
+    area:
+        Cell area (arbitrary um^2-like units).
+    """
+
+    name: str
+    n_inputs: int
+    func: Callable[[Tuple[int, ...]], int]
+    controlling: Optional[Tuple[int, int]]
+    delay: float
+    delay_per_fanout: float
+    energy: float
+    area: float
+
+    def evaluate(self, inputs: Tuple[int, ...]) -> int:
+        """Evaluate the cell function on an input tuple of 0/1 ints."""
+        if len(inputs) != self.n_inputs:
+            raise ValueError(
+                f"{self.name} expects {self.n_inputs} inputs, got {len(inputs)}"
+            )
+        return int(self.func(inputs))
+
+    def propagation_delay(self, fanout: int = 1) -> float:
+        """Cell delay driving ``fanout`` loads, at nominal voltage."""
+        return self.delay + self.delay_per_fanout * max(0, fanout - 1)
+
+
+def _inv(x: Tuple[int, ...]) -> int:
+    return 1 - x[0]
+
+
+def _buf(x: Tuple[int, ...]) -> int:
+    return x[0]
+
+
+def _nand(x: Tuple[int, ...]) -> int:
+    return 0 if all(x) else 1
+
+
+def _nor(x: Tuple[int, ...]) -> int:
+    return 0 if any(x) else 1
+
+
+def _and(x: Tuple[int, ...]) -> int:
+    return 1 if all(x) else 0
+
+
+def _or(x: Tuple[int, ...]) -> int:
+    return 1 if any(x) else 0
+
+
+def _xor(x: Tuple[int, ...]) -> int:
+    acc = 0
+    for bit in x:
+        acc ^= bit
+    return acc
+
+
+def _xnor(x: Tuple[int, ...]) -> int:
+    return 1 - _xor(x)
+
+
+def _mux2(x: Tuple[int, ...]) -> int:
+    d0, d1, sel = x
+    return d1 if sel else d0
+
+
+def _tiehi(_: Tuple[int, ...]) -> int:
+    return 1
+
+
+def _tielo(_: Tuple[int, ...]) -> int:
+    return 0
+
+
+# Delay/energy/area numbers are loosely modelled on a 22 nm-class
+# library: inverters fastest, XOR-class cells slowest, 3-input cells
+# slower than 2-input ones.  The absolute scale is irrelevant (all
+# consumers normalise), only the *ratios* shape the sensitised-delay
+# distributions.
+INV = GateType("INV", 1, _inv, None, 6.0, 1.2, 0.45, 1.0)
+BUF = GateType("BUF", 1, _buf, None, 9.0, 1.0, 0.60, 1.5)
+NAND2 = GateType("NAND2", 2, _nand, (0, 1), 8.0, 1.4, 0.70, 1.6)
+NAND3 = GateType("NAND3", 3, _nand, (0, 1), 11.0, 1.6, 0.95, 2.2)
+NOR2 = GateType("NOR2", 2, _nor, (1, 0), 9.0, 1.6, 0.75, 1.6)
+NOR3 = GateType("NOR3", 3, _nor, (1, 0), 13.0, 1.9, 1.05, 2.3)
+AND2 = GateType("AND2", 2, _and, (0, 0), 12.0, 1.4, 0.85, 2.0)
+AND3 = GateType("AND3", 3, _and, (0, 0), 15.0, 1.6, 1.10, 2.6)
+OR2 = GateType("OR2", 2, _or, (1, 1), 13.0, 1.5, 0.90, 2.0)
+OR3 = GateType("OR3", 3, _or, (1, 1), 16.0, 1.7, 1.15, 2.6)
+XOR2 = GateType("XOR2", 2, _xor, None, 16.0, 1.8, 1.40, 3.0)
+XNOR2 = GateType("XNOR2", 2, _xnor, None, 16.0, 1.8, 1.40, 3.0)
+MUX2 = GateType("MUX2", 3, _mux2, None, 14.0, 1.6, 1.20, 2.8)
+TIEHI = GateType("TIEHI", 0, _tiehi, None, 0.0, 0.0, 0.0, 0.3)
+TIELO = GateType("TIELO", 0, _tielo, None, 0.0, 0.0, 0.0, 0.3)
+
+GATE_LIBRARY: Dict[str, GateType] = {
+    g.name: g
+    for g in (
+        INV,
+        BUF,
+        NAND2,
+        NAND3,
+        NOR2,
+        NOR3,
+        AND2,
+        AND3,
+        OR2,
+        OR3,
+        XOR2,
+        XNOR2,
+        MUX2,
+        TIEHI,
+        TIELO,
+    )
+}
+
+
+def gate_type(name: str) -> GateType:
+    """Look up a cell by name, raising ``KeyError`` with context."""
+    try:
+        return GATE_LIBRARY[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown gate type {name!r}; available: {sorted(GATE_LIBRARY)}"
+        ) from None

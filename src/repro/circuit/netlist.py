@@ -1,0 +1,245 @@
+"""Gate-level netlist representation.
+
+A :class:`Netlist` models the combinational cloud of one pipe stage:
+primary inputs are launch-flop outputs, primary outputs feed the
+capture flops (where the Razor shadow latches sit).  The structure is a
+DAG of library gates from :mod:`repro.circuit.gates`.
+
+The representation is deliberately simple -- named nets, single-driver
+discipline, Kahn topological ordering -- because the two consumers
+(static timing analysis and the event-driven sensitisation simulator)
+only need levelised traversal and fanout counts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from .gates import GATE_LIBRARY, GateType, gate_type
+
+__all__ = ["Gate", "Netlist", "NetlistError"]
+
+
+class NetlistError(ValueError):
+    """Raised for structural problems: cycles, undriven or multiply
+    driven nets, dangling references."""
+
+
+@dataclass(frozen=True)
+class Gate:
+    """One gate instance: a library cell wired to named nets."""
+
+    name: str
+    gtype: GateType
+    inputs: Tuple[str, ...]
+    output: str
+
+    def evaluate(self, values: Dict[str, int]) -> int:
+        """Evaluate this gate given a net-value mapping."""
+        return self.gtype.evaluate(tuple(values[n] for n in self.inputs))
+
+
+class Netlist:
+    """A combinational gate-level netlist.
+
+    Typical construction::
+
+        nl = Netlist("my_stage")
+        a = nl.add_input("a")
+        b = nl.add_input("b")
+        y = nl.add_gate("XOR2", [a, b])
+        nl.set_outputs([y])
+    """
+
+    def __init__(self, name: str = "netlist"):
+        self.name = name
+        self._inputs: List[str] = []
+        self._outputs: List[str] = []
+        self._gates: Dict[str, Gate] = {}
+        self._driver: Dict[str, str] = {}  # net -> gate name
+        self._uid = 0
+        self._topo_cache: Optional[List[Gate]] = None
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+    def add_input(self, name: Optional[str] = None) -> str:
+        """Declare a primary input net and return its name."""
+        net = name if name is not None else self._fresh("in")
+        if net in self._driver or net in self._inputs:
+            raise NetlistError(f"net {net!r} already exists")
+        self._inputs.append(net)
+        self._topo_cache = None
+        return net
+
+    def add_inputs(self, prefix: str, count: int) -> List[str]:
+        """Declare ``count`` input nets named ``prefix0..prefixN-1``."""
+        return [self.add_input(f"{prefix}{i}") for i in range(count)]
+
+    def add_gate(
+        self,
+        gtype: str | GateType,
+        inputs: Sequence[str],
+        output: Optional[str] = None,
+        name: Optional[str] = None,
+    ) -> str:
+        """Instantiate a gate; returns the (possibly fresh) output net."""
+        gt = gate_type(gtype) if isinstance(gtype, str) else gtype
+        out = output if output is not None else self._fresh(gt.name.lower())
+        gname = name if name is not None else self._fresh(f"g_{gt.name.lower()}")
+        if gname in self._gates:
+            raise NetlistError(f"gate {gname!r} already exists")
+        if out in self._driver:
+            raise NetlistError(f"net {out!r} already driven by {self._driver[out]!r}")
+        if out in self._inputs:
+            raise NetlistError(f"net {out!r} is a primary input")
+        gate = Gate(gname, gt, tuple(inputs), out)
+        self._gates[gname] = gate
+        self._driver[out] = gname
+        self._topo_cache = None
+        return out
+
+    def set_outputs(self, nets: Iterable[str]) -> None:
+        """Declare the primary output nets (capture-flop D pins)."""
+        nets = list(nets)
+        known = set(self._inputs) | set(self._driver)
+        for net in nets:
+            if net not in known:
+                raise NetlistError(f"output net {net!r} does not exist")
+        self._outputs = nets
+
+    def _fresh(self, prefix: str) -> str:
+        self._uid += 1
+        return f"{prefix}_{self._uid}"
+
+    # ------------------------------------------------------------------
+    # inspection
+    # ------------------------------------------------------------------
+    @property
+    def inputs(self) -> List[str]:
+        return list(self._inputs)
+
+    @property
+    def outputs(self) -> List[str]:
+        return list(self._outputs)
+
+    @property
+    def gates(self) -> List[Gate]:
+        return list(self._gates.values())
+
+    def gate(self, name: str) -> Gate:
+        return self._gates[name]
+
+    def driver_of(self, net: str) -> Optional[Gate]:
+        """The gate driving ``net``, or ``None`` for primary inputs."""
+        gname = self._driver.get(net)
+        return self._gates[gname] if gname is not None else None
+
+    def n_gates(self) -> int:
+        return len(self._gates)
+
+    def nets(self) -> List[str]:
+        return list(self._inputs) + list(self._driver)
+
+    def fanout_counts(self) -> Dict[str, int]:
+        """Number of gate input pins each net drives (outputs add one
+        load each for the capture flop)."""
+        counts: Dict[str, int] = {n: 0 for n in self.nets()}
+        for g in self._gates.values():
+            for n in g.inputs:
+                counts[n] += 1
+        for n in self._outputs:
+            counts[n] += 1
+        return counts
+
+    def total_area(self) -> float:
+        return sum(g.gtype.area for g in self._gates.values())
+
+    def gate_histogram(self) -> Dict[str, int]:
+        hist: Dict[str, int] = {}
+        for g in self._gates.values():
+            hist[g.gtype.name] = hist.get(g.gtype.name, 0) + 1
+        return dict(sorted(hist.items()))
+
+    # ------------------------------------------------------------------
+    # structure
+    # ------------------------------------------------------------------
+    def topological_order(self) -> List[Gate]:
+        """Gates in dependency order (Kahn); raises on cycles."""
+        if self._topo_cache is not None:
+            return self._topo_cache
+        indeg: Dict[str, int] = {}
+        consumers: Dict[str, List[str]] = {}
+        for g in self._gates.values():
+            deps = 0
+            for net in g.inputs:
+                if net in self._driver:
+                    deps += 1
+                    consumers.setdefault(net, []).append(g.name)
+                elif net not in self._inputs:
+                    raise NetlistError(
+                        f"gate {g.name!r} reads undriven net {net!r}"
+                    )
+            indeg[g.name] = deps
+        ready = [n for n, d in indeg.items() if d == 0]
+        order: List[Gate] = []
+        while ready:
+            gname = ready.pop()
+            g = self._gates[gname]
+            order.append(g)
+            for consumer in consumers.get(g.output, ()):
+                indeg[consumer] -= 1
+                if indeg[consumer] == 0:
+                    ready.append(consumer)
+        if len(order) != len(self._gates):
+            raise NetlistError(f"netlist {self.name!r} contains a cycle")
+        self._topo_cache = order
+        return order
+
+    def validate(self) -> None:
+        """Check structural invariants; raises :class:`NetlistError`."""
+        self.topological_order()
+        if not self._outputs:
+            raise NetlistError(f"netlist {self.name!r} has no outputs")
+        fan = self.fanout_counts()
+        inputs = set(self._inputs)
+        # unused primary inputs are a legal interface property (e.g.
+        # after optimisation); undriven *logic* is not
+        dangling = [
+            n
+            for n, c in fan.items()
+            if c == 0 and n not in self._outputs and n not in inputs
+        ]
+        if dangling:
+            raise NetlistError(
+                f"netlist {self.name!r} has {len(dangling)} dangling nets, "
+                f"e.g. {dangling[:5]}"
+            )
+
+    def logic_depth(self) -> int:
+        """Maximum number of gates on any input-to-output path."""
+        depth: Dict[str, int] = {n: 0 for n in self._inputs}
+        for g in self.topological_order():
+            depth[g.output] = 1 + max(
+                (depth[n] for n in g.inputs), default=0
+            )
+        return max((depth[n] for n in self._outputs), default=0)
+
+    def to_networkx(self):
+        """Export as a ``networkx.DiGraph`` (net-level) for analysis."""
+        import networkx as nx
+
+        g = nx.DiGraph(name=self.name)
+        for net in self.nets():
+            g.add_node(net)
+        for gate in self._gates.values():
+            for net in gate.inputs:
+                g.add_edge(net, gate.output, gate=gate.name)
+        return g
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"Netlist({self.name!r}, inputs={len(self._inputs)}, "
+            f"outputs={len(self._outputs)}, gates={len(self._gates)})"
+        )

@@ -1,0 +1,208 @@
+"""Netlist optimisation passes.
+
+Light logic-synthesis cleanups used after generator-based construction
+and Verilog import:
+
+* **constant propagation** -- fold gates whose inputs are tie cells
+  (and tie cells created by the folding, to a fixed point);
+* **double-inverter collapse** -- ``INV(INV(x)) -> x`` (rewiring
+  consumers; a BUF is kept only where the pair drove a primary
+  output);
+* **dead-gate elimination** -- drop logic cones that reach no primary
+  output.
+
+Passes preserve functional equivalence, which the test suite checks by
+exhaustive/random simulation before and after.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Set, Tuple
+
+from .gates import GATE_LIBRARY, GateType
+from .netlist import Gate, Netlist
+
+__all__ = [
+    "constant_propagation",
+    "collapse_inverter_pairs",
+    "dead_gate_elimination",
+    "optimize",
+]
+
+
+def _rebuild(
+    source: Netlist,
+    keep_gate: Dict[str, Gate],
+    alias: Dict[str, str],
+) -> Netlist:
+    """Reconstruct a netlist from surviving gates plus a net aliasing
+    map (net -> replacement net)."""
+
+    def resolve(net: str) -> str:
+        seen = set()
+        while net in alias:
+            if net in seen:
+                raise RuntimeError("alias cycle")
+            seen.add(net)
+            net = alias[net]
+        return net
+
+    out = Netlist(source.name)
+    for n in source.inputs:
+        out.add_input(n)
+    for gate in source.topological_order():
+        if gate.name not in keep_gate:
+            continue
+        g = keep_gate[gate.name]
+        out.add_gate(
+            g.gtype,
+            [resolve(n) for n in g.inputs],
+            output=g.output,
+            name=g.name,
+        )
+    out.set_outputs([resolve(n) for n in source.outputs])
+    return out
+
+
+def constant_propagation(netlist: Netlist) -> Netlist:
+    """Fold tie-cell constants through the logic to a fixed point.
+
+    A gate with a controlling constant input becomes a tie cell; a
+    gate whose remaining function degenerates to identity/inversion of
+    one input becomes a BUF/INV.
+    """
+    const: Dict[str, int] = {}
+    keep: Dict[str, Gate] = {}
+    alias: Dict[str, str] = {}
+
+    for gate in netlist.topological_order():
+        gt = gate.gtype
+        if gt.name == "TIEHI":
+            const[gate.output] = 1
+            keep[gate.name] = gate
+            continue
+        if gt.name == "TIELO":
+            const[gate.output] = 0
+            keep[gate.name] = gate
+            continue
+        known = [const.get(n) for n in gate.inputs]
+        if all(v is not None for v in known):
+            value = gt.evaluate(tuple(known))  # type: ignore[arg-type]
+            const[gate.output] = value
+            keep[gate.name] = Gate(
+                gate.name,
+                GATE_LIBRARY["TIEHI" if value else "TIELO"],
+                (),
+                gate.output,
+            )
+            continue
+        if any(v is not None for v in known) and gt.controlling is not None:
+            cval, cout = gt.controlling
+            if any(v == cval for v in known):
+                const[gate.output] = cout
+                keep[gate.name] = Gate(
+                    gate.name,
+                    GATE_LIBRARY["TIEHI" if cout else "TIELO"],
+                    (),
+                    gate.output,
+                )
+                continue
+            # all known inputs are non-controlling: for the 2-input
+            # monotone cells the output reduces to the remaining input
+            # (AND/OR) or its inversion (NAND/NOR)
+            if gt.n_inputs == 2:
+                live = [
+                    n for n, v in zip(gate.inputs, known) if v is None
+                ]
+                if len(live) == 1:
+                    replacement = {
+                        "AND2": "BUF",
+                        "OR2": "BUF",
+                        "NAND2": "INV",
+                        "NOR2": "INV",
+                    }.get(gt.name)
+                    if replacement is not None:
+                        keep[gate.name] = Gate(
+                            gate.name,
+                            GATE_LIBRARY[replacement],
+                            (live[0],),
+                            gate.output,
+                        )
+                        continue
+        # XOR/XNOR with one known input reduces to BUF/INV as well
+        if gt.name in ("XOR2", "XNOR2") and any(v is not None for v in known):
+            live = [n for n, v in zip(gate.inputs, known) if v is None]
+            fixed = [v for v in known if v is not None]
+            if len(live) == 1:
+                inv = (fixed[0] == 1) ^ (gt.name == "XNOR2")
+                keep[gate.name] = Gate(
+                    gate.name,
+                    GATE_LIBRARY["INV" if inv else "BUF"],
+                    (live[0],),
+                    gate.output,
+                )
+                continue
+        keep[gate.name] = gate
+    return _rebuild(netlist, keep, alias)
+
+
+def collapse_inverter_pairs(netlist: Netlist) -> Netlist:
+    """Rewire ``INV(INV(x))`` consumers directly to ``x``.
+
+    The inner/outer inverters stay if still referenced (dead ones are
+    removed by :func:`dead_gate_elimination`); outputs driven by a
+    collapsed pair are re-driven through a BUF to keep the single-
+    driver discipline.
+    """
+    driver: Dict[str, Gate] = {}
+    for g in netlist.topological_order():
+        driver[g.output] = g
+
+    alias: Dict[str, str] = {}
+    keep: Dict[str, Gate] = {}
+    outputs = set(netlist.outputs)
+    for gate in netlist.topological_order():
+        if gate.gtype.name == "INV":
+            inner = driver.get(gate.inputs[0])
+            if inner is not None and inner.gtype.name == "INV":
+                original = inner.inputs[0]
+                if gate.output in outputs:
+                    keep[gate.name] = Gate(
+                        gate.name, GATE_LIBRARY["BUF"], (original,), gate.output
+                    )
+                else:
+                    alias[gate.output] = original
+                continue
+        keep[gate.name] = gate
+    return _rebuild(netlist, keep, alias)
+
+
+def dead_gate_elimination(netlist: Netlist) -> Netlist:
+    """Remove gates whose cones never reach a primary output."""
+    driver: Dict[str, Gate] = {}
+    for g in netlist.topological_order():
+        driver[g.output] = g
+    live: Set[str] = set()
+    stack = list(netlist.outputs)
+    while stack:
+        net = stack.pop()
+        gate = driver.get(net)
+        if gate is None or gate.name in live:
+            continue
+        live.add(gate.name)
+        stack.extend(gate.inputs)
+    keep = {g.name: g for g in netlist.topological_order() if g.name in live}
+    return _rebuild(netlist, keep, {})
+
+
+def optimize(netlist: Netlist, max_iterations: int = 8) -> Netlist:
+    """Run the three passes to a fixed point (bounded iterations)."""
+    current = netlist
+    for _ in range(max_iterations):
+        before = current.n_gates()
+        current = dead_gate_elimination(
+            collapse_inverter_pairs(constant_propagation(current))
+        )
+        if current.n_gates() == before:
+            break
+    return current

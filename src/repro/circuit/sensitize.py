@@ -1,0 +1,109 @@
+"""Path-sensitisation characterisation of a pipe stage.
+
+Ties the substrate together (paper Fig. 5.8): drive a synthesised
+stage netlist with an operand trace, record the per-cycle sensitised
+delay, normalise by the stage's STA critical path, and reduce to an
+empirical error-probability function
+
+    err(r) = P[ sensitised delay > r * t_nom ],
+
+which is precisely the quantity the paper's timing-speculation model
+consumes.  Because all gate delays scale uniformly with voltage, the
+normalised delay -- and hence ``err(r)`` -- is voltage-independent,
+matching the paper's Section 4.3 extrapolation rule.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Sequence
+
+import numpy as np
+
+from .logicsim import TraceResult, simulate_trace
+from .sta import critical_path
+from .synth import PipeStage
+
+__all__ = ["SensitizationProfile", "characterize_stage", "empirical_error_curve"]
+
+
+@dataclass(frozen=True)
+class SensitizationProfile:
+    """Delay characterisation of one (stage, operand-trace) pair.
+
+    Attributes
+    ----------
+    stage_name:
+        Which pipe stage was driven.
+    critical_delay:
+        STA critical-path delay (library units) -- the nominal period.
+    normalized_delays:
+        Per-cycle sensitised delay divided by ``critical_delay``; in
+        ``[0, 1]`` by the transition-mode bound.
+    mean_energy:
+        Mean switching energy per cycle (library units, at Vdd = 1).
+    toggle_rate:
+        Mean fraction of gates toggling per cycle.
+    """
+
+    stage_name: str
+    critical_delay: float
+    normalized_delays: np.ndarray
+    mean_energy: float
+    toggle_rate: float
+
+    def error_probability(self, r: float) -> float:
+        """Empirical ``err(r)``: fraction of cycles whose sensitised
+        delay exceeds a clock period of ``r`` times nominal."""
+        if len(self.normalized_delays) == 0:
+            return 0.0
+        return float(np.mean(self.normalized_delays > r))
+
+    def error_curve(self, ratios: Sequence[float]) -> np.ndarray:
+        return np.array([self.error_probability(r) for r in ratios])
+
+    def quantile(self, q: float) -> float:
+        return float(np.quantile(self.normalized_delays, q))
+
+
+def characterize_stage(
+    stage: PipeStage,
+    operands: Dict[str, np.ndarray],
+    skip_first: int = 1,
+) -> SensitizationProfile:
+    """Run the cross-layer characterisation for one operand trace.
+
+    Parameters
+    ----------
+    stage:
+        A synthesised :class:`~repro.circuit.synth.PipeStage`.
+    operands:
+        Keyword arrays for the stage encoder (e.g. ``a_vals``,
+        ``b_vals``, ``op_vals``).
+    skip_first:
+        Cycles to drop from the head of the trace (cycle 0 has no
+        predecessor vector, hence delay 0 by construction).
+    """
+    vectors = stage.encoder(**operands)
+    result: TraceResult = simulate_trace(stage.netlist, vectors)
+    t_crit, _ = critical_path(stage.netlist)
+    delays = result.delays[skip_first:] / t_crit
+    n_gates = max(1, stage.netlist.n_gates())
+    return SensitizationProfile(
+        stage_name=stage.name,
+        critical_delay=t_crit,
+        normalized_delays=delays,
+        mean_energy=float(np.mean(result.energy[skip_first:]))
+        if len(result.energy) > skip_first
+        else 0.0,
+        toggle_rate=float(np.mean(result.toggle_counts[skip_first:])) / n_gates
+        if len(result.toggle_counts) > skip_first
+        else 0.0,
+    )
+
+
+def empirical_error_curve(
+    profile: SensitizationProfile, ratios: Sequence[float]
+) -> Dict[float, float]:
+    """Convenience mapping ``r -> err(r)`` over a ratio grid."""
+    return {float(r): profile.error_probability(float(r)) for r in ratios}

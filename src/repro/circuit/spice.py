@@ -1,0 +1,142 @@
+"""A miniature transient circuit simulator ("HSPICE-lite").
+
+The paper uses HSPICE with the 22 nm Predictive Technology Model to
+simulate ring oscillators and extract the clock-period-versus-voltage
+table.  We replace it with a small forward-Euler transient simulator of
+CMOS inverter chains/rings:
+
+* each node is a capacitor ``C`` to ground;
+* each inverter drives its output with a pull-up (PMOS) or pull-down
+  (NMOS) current following the Sakurai-Newton alpha-power law
+  ``I = k * (Vgs_eff - Vth)^alpha``, with a linear-region rolloff near
+  the rail so waveforms settle smoothly;
+* the input of each stage is the (analog) output voltage of the
+  previous stage, compared against the switching threshold Vdd/2.
+
+This is enough physics to make oscillation period scale with supply
+voltage the way Table 5.1 does, which is all the downstream system
+consumes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+import numpy as np
+
+__all__ = ["InverterParams", "TransientResult", "simulate_inverter_ring"]
+
+
+@dataclass(frozen=True)
+class InverterParams:
+    """Electrical parameters of one inverter stage.
+
+    Attributes
+    ----------
+    vth:
+        Device threshold voltage (V).
+    alpha:
+        Alpha-power-law exponent.
+    k_drive:
+        Drive-strength coefficient (A / V^alpha).
+    cap:
+        Output node capacitance (F).
+    """
+
+    vth: float = 0.42
+    alpha: float = 1.3
+    k_drive: float = 1.0e-3
+    cap: float = 1.0e-15
+
+
+@dataclass
+class TransientResult:
+    """Waveforms and measurements from a transient run."""
+
+    time: np.ndarray
+    waveforms: np.ndarray  # shape (n_nodes, n_steps)
+    period: Optional[float]  # measured oscillation period, None if none
+
+    def node_waveform(self, node: int) -> np.ndarray:
+        return self.waveforms[node]
+
+
+def _drive_current(
+    v_in: float, v_out: float, vdd: float, p: InverterParams
+) -> float:
+    """Net current charging the output node of one inverter.
+
+    NMOS pulls down when the input is high, PMOS pulls up when the
+    input is low; overdrive follows the alpha-power law with a linear
+    rolloff within 50 mV of the destination rail (crude triode region)
+    so integration terminates cleanly at the rails.
+    """
+    linear_band = 0.05
+    if v_in >= vdd / 2.0:
+        overdrive = v_in - p.vth
+        if overdrive <= 0.0:
+            return 0.0
+        i_sat = p.k_drive * overdrive**p.alpha
+        rolloff = min(1.0, max(0.0, v_out / linear_band))
+        return -i_sat * rolloff
+    overdrive = (vdd - v_in) - p.vth
+    if overdrive <= 0.0:
+        return 0.0
+    i_sat = p.k_drive * overdrive**p.alpha
+    rolloff = min(1.0, max(0.0, (vdd - v_out) / linear_band))
+    return i_sat * rolloff
+
+
+def simulate_inverter_ring(
+    n_stages: int,
+    vdd: float,
+    params: InverterParams | None = None,
+    t_stop: float = 2.0e-9,
+    dt: float = 1.0e-13,
+) -> TransientResult:
+    """Transient-simulate an ``n_stages``-inverter ring oscillator.
+
+    ``n_stages`` must be odd for oscillation.  Returns waveforms and
+    the measured steady-state period (averaged over the last few
+    rising-edge crossings of node 0, skipping start-up).
+    """
+    if n_stages < 3 or n_stages % 2 == 0:
+        raise ValueError("ring oscillator needs an odd stage count >= 3")
+    p = params or InverterParams()
+    if vdd <= p.vth:
+        raise ValueError(f"vdd {vdd} V at or below threshold {p.vth} V")
+
+    n_steps = int(t_stop / dt)
+    v = np.zeros(n_stages)
+    # Seed an asymmetric initial state so oscillation starts immediately.
+    for i in range(n_stages):
+        v[i] = vdd if i % 2 else 0.0
+    v[0] = vdd * 0.25
+
+    waveforms = np.empty((n_stages, n_steps))
+    times = np.arange(n_steps) * dt
+    crossings: List[float] = []
+    half = vdd / 2.0
+    prev_v0 = v[0]
+
+    for step in range(n_steps):
+        dv = np.empty(n_stages)
+        for i in range(n_stages):
+            v_in = v[(i - 1) % n_stages]
+            dv[i] = _drive_current(v_in, v[i], vdd, p) / p.cap
+        v = np.clip(v + dv * dt, 0.0, vdd)
+        waveforms[:, step] = v
+        if prev_v0 < half <= v[0]:
+            # linear interpolation of the rising-edge crossing instant
+            frac = (half - prev_v0) / (v[0] - prev_v0)
+            crossings.append((step - 1 + frac) * dt)
+        prev_v0 = v[0]
+
+    period: Optional[float] = None
+    if len(crossings) >= 4:
+        # Skip the first edges (start-up transient), average the rest.
+        diffs = np.diff(crossings[1:])
+        if len(diffs) > 0:
+            period = float(np.mean(diffs))
+    return TransientResult(time=times, waveforms=waveforms, period=period)

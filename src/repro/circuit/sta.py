@@ -1,0 +1,119 @@
+"""Static timing analysis over :class:`repro.circuit.netlist.Netlist`.
+
+Computes worst-case arrival times (topological max-plus propagation),
+the critical path, required times and slacks.  The STA critical path
+defines the *nominal clock period* of a stage: running at timing
+speculation ratio ``r`` means clocking the stage at ``r`` times this
+period, exactly the normalisation used throughout the paper.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from .netlist import Gate, Netlist
+
+__all__ = ["TimingReport", "arrival_times", "critical_path", "analyze"]
+
+
+@dataclass(frozen=True)
+class TimingReport:
+    """Result of a full STA run.
+
+    Attributes
+    ----------
+    arrival:
+        Worst-case arrival time per net.
+    critical_delay:
+        Maximum arrival over the primary outputs -- the stage's
+        combinational critical-path delay (the rated clock period at
+        this voltage, guard band excluded).
+    critical_nets:
+        The nets along one worst path, input to output.
+    slack:
+        Per-net slack against ``clock_period`` (equal to
+        ``critical_delay`` unless overridden in :func:`analyze`).
+    clock_period:
+        Period the slacks were computed against.
+    """
+
+    arrival: Dict[str, float]
+    critical_delay: float
+    critical_nets: Tuple[str, ...]
+    slack: Dict[str, float]
+    clock_period: float
+
+
+def arrival_times(netlist: Netlist, voltage_scale: float = 1.0) -> Dict[str, float]:
+    """Worst-case arrival time of every net.
+
+    Primary inputs arrive at t=0 (launch-flop clk-to-q folded into the
+    gate delays).  ``voltage_scale`` multiplies every cell delay
+    uniformly, matching :mod:`repro.circuit.voltage`.
+    """
+    fanout = netlist.fanout_counts()
+    arrival: Dict[str, float] = {n: 0.0 for n in netlist.inputs}
+    for gate in netlist.topological_order():
+        delay = gate.gtype.propagation_delay(fanout[gate.output]) * voltage_scale
+        worst_in = max((arrival[n] for n in gate.inputs), default=0.0)
+        arrival[gate.output] = worst_in + delay
+    return arrival
+
+
+def critical_path(
+    netlist: Netlist, voltage_scale: float = 1.0
+) -> Tuple[float, List[str]]:
+    """The stage critical-path delay and one witnessing net sequence."""
+    arrival = arrival_times(netlist, voltage_scale)
+    if not netlist.outputs:
+        raise ValueError("netlist has no outputs; cannot extract critical path")
+    end = max(netlist.outputs, key=lambda n: arrival[n])
+    path = [end]
+    net = end
+    while True:
+        gate = netlist.driver_of(net)
+        if gate is None:
+            break
+        net = max(gate.inputs, key=lambda n: arrival[n])
+        path.append(net)
+    path.reverse()
+    return arrival[end], path
+
+
+def analyze(
+    netlist: Netlist,
+    voltage_scale: float = 1.0,
+    clock_period: float | None = None,
+) -> TimingReport:
+    """Full STA: arrivals, critical path, slacks.
+
+    ``clock_period`` defaults to the critical delay itself (zero worst
+    slack), i.e. the un-guard-banded rated period the paper speculates
+    against.
+    """
+    arrival = arrival_times(netlist, voltage_scale)
+    delay, path = critical_path(netlist, voltage_scale)
+    period = clock_period if clock_period is not None else delay
+    # Required time propagates backwards from outputs at `period`.
+    required: Dict[str, float] = {n: float("inf") for n in arrival}
+    for out in netlist.outputs:
+        required[out] = min(required[out], period)
+    fanout = netlist.fanout_counts()
+    for gate in reversed(netlist.topological_order()):
+        gdelay = gate.gtype.propagation_delay(fanout[gate.output]) * voltage_scale
+        need = required[gate.output] - gdelay
+        for n in gate.inputs:
+            if need < required[n]:
+                required[n] = need
+    slack = {
+        n: (required[n] - arrival[n]) if required[n] != float("inf") else float("inf")
+        for n in arrival
+    }
+    return TimingReport(
+        arrival=arrival,
+        critical_delay=delay,
+        critical_nets=tuple(path),
+        slack=slack,
+        clock_period=period,
+    )

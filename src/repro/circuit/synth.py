@@ -1,0 +1,423 @@
+"""Structural synthesis of the three analysed pipe stages.
+
+The paper synthesises the IVM Alpha's Decode, SimpleALU and ComplexALU
+pipe stages with Synopsys Design Compiler.  We build the equivalent
+structural netlists directly from the gate library:
+
+* **Decode** -- opcode / register-specifier decoders, a control PLA and
+  an immediate sign-extender: wide but *shallow* logic, so sensitised
+  delays leave substantial speculation headroom.
+* **SimpleALU** -- a ripple-carry adder plus a logic unit and result
+  mux: the carry chain makes sensitised delay strongly data-dependent
+  (long carries are rare), the paper's key leverage for speculation.
+* **ComplexALU** -- an array multiplier plus a barrel shifter: a deep
+  multiplier wall that is sensitised by most operand pairs, leaving
+  little speculation headroom (the paper's ComplexALU gains are
+  correspondingly modest, 7.5 %).
+
+Each stage ships with an *encoder* mapping operand streams to the
+cycle-by-cycle input vectors that drive
+:func:`repro.circuit.logicsim.simulate_trace`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import lru_cache
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from .netlist import Netlist
+
+__all__ = [
+    "PipeStage",
+    "int_to_bits",
+    "full_adder",
+    "ripple_carry_adder",
+    "kogge_stone_adder",
+    "array_multiplier",
+    "barrel_shifter",
+    "logic_unit",
+    "binary_decoder",
+    "nor_reduce",
+    "build_decode_stage",
+    "build_simple_alu_stage",
+    "build_complex_alu_stage",
+    "get_stage",
+    "STAGE_NAMES",
+]
+
+STAGE_NAMES: Tuple[str, ...] = ("decode", "simple_alu", "complex_alu")
+
+
+def int_to_bits(values: np.ndarray, width: int) -> np.ndarray:
+    """Unpack unsigned ints to an LSB-first bit matrix ``(T, width)``."""
+    values = np.asarray(values, dtype=np.uint64)
+    shifts = np.arange(width, dtype=np.uint64)
+    return ((values[:, None] >> shifts) & 1).astype(np.uint8)
+
+
+@dataclass(frozen=True)
+class PipeStage:
+    """A synthesised pipe stage plus its operand encoder.
+
+    ``encoder(**operands)`` returns the ``(T, n_inputs)`` vector array
+    in the netlist's input order.
+    """
+
+    name: str
+    netlist: Netlist
+    encoder: Callable[..., np.ndarray]
+    operand_names: Tuple[str, ...]
+
+
+# ----------------------------------------------------------------------
+# reusable datapath blocks
+# ----------------------------------------------------------------------
+def full_adder(nl: Netlist, a: str, b: str, cin: str) -> Tuple[str, str]:
+    """One-bit full adder; returns ``(sum, carry_out)``."""
+    axb = nl.add_gate("XOR2", [a, b])
+    s = nl.add_gate("XOR2", [axb, cin])
+    t1 = nl.add_gate("AND2", [a, b])
+    t2 = nl.add_gate("AND2", [axb, cin])
+    cout = nl.add_gate("OR2", [t1, t2])
+    return s, cout
+
+
+def ripple_carry_adder(
+    nl: Netlist, a_bits: Sequence[str], b_bits: Sequence[str], cin: Optional[str] = None
+) -> Tuple[List[str], str]:
+    """Ripple-carry adder over equal-width operands.
+
+    Returns ``(sum_bits, carry_out)``.  With no ``cin`` the LSB uses a
+    half adder (XOR/AND).
+    """
+    if len(a_bits) != len(b_bits):
+        raise ValueError("operand widths differ")
+    sums: List[str] = []
+    carry = cin
+    for a, b in zip(a_bits, b_bits):
+        if carry is None:
+            s = nl.add_gate("XOR2", [a, b])
+            carry = nl.add_gate("AND2", [a, b])
+        else:
+            s, carry = full_adder(nl, a, b, carry)
+        sums.append(s)
+    return sums, carry
+
+
+def kogge_stone_adder(
+    nl: Netlist, a_bits: Sequence[str], b_bits: Sequence[str]
+) -> Tuple[List[str], str]:
+    """Parallel-prefix (Kogge-Stone) adder; returns ``(sums, cout)``.
+
+    Logarithmic depth, in contrast to :func:`ripple_carry_adder`'s
+    linear carry chain -- the architectural lever a designer would
+    pull to buy timing-speculation headroom on the SimpleALU.
+    """
+    w = len(a_bits)
+    if len(b_bits) != w:
+        raise ValueError("operand widths differ")
+    gen = [nl.add_gate("AND2", [a, b]) for a, b in zip(a_bits, b_bits)]
+    prop = [nl.add_gate("XOR2", [a, b]) for a, b in zip(a_bits, b_bits)]
+
+    g, p = list(gen), list(prop)
+    dist = 1
+    while dist < w:
+        new_g, new_p = list(g), list(p)
+        for i in range(dist, w):
+            t = nl.add_gate("AND2", [p[i], g[i - dist]])
+            new_g[i] = nl.add_gate("OR2", [g[i], t])
+            new_p[i] = nl.add_gate("AND2", [p[i], p[i - dist]])
+        g, p = new_g, new_p
+        dist <<= 1
+
+    # carries into each bit: c0 = 0, c_i = G_{i-1}
+    zero = nl.add_gate("TIELO", [])
+    sums = [nl.add_gate("XOR2", [prop[0], zero])]
+    sums += [
+        nl.add_gate("XOR2", [prop[i], g[i - 1]]) for i in range(1, w)
+    ]
+    return sums, g[w - 1]
+
+
+def array_multiplier(
+    nl: Netlist, a_bits: Sequence[str], b_bits: Sequence[str]
+) -> List[str]:
+    """Unsigned array multiplier; returns the full 2W-bit product.
+
+    Partial products are ANDed and accumulated row-by-row with
+    ripple-carry adders -- the classic deep-array structure whose
+    worst paths cut diagonally through the array.
+    """
+    w = len(a_bits)
+    if len(b_bits) != w:
+        raise ValueError("operand widths differ")
+
+    def pp(i: int, j: int) -> str:
+        return nl.add_gate("AND2", [a_bits[j], b_bits[i]])
+
+    # Invariant: entering iteration i, `acc` holds w bits covering
+    # weights [i, i+w-1]; row i covers the same weights.
+    row0 = [pp(0, j) for j in range(w)]
+    product: List[str] = [row0[0]]
+    zero = nl.add_gate("TIELO", [])
+    acc: List[str] = row0[1:] + [zero]
+    for i in range(1, w):
+        row = [pp(i, j) for j in range(w)]
+        sums, cout = ripple_carry_adder(nl, acc, row)
+        product.append(sums[0])
+        acc = sums[1:] + [cout]
+    product.extend(acc)
+    return product
+
+
+def barrel_shifter(
+    nl: Netlist,
+    data_bits: Sequence[str],
+    shamt_bits: Sequence[str],
+    left: bool = False,
+) -> List[str]:
+    """Logarithmic barrel shifter (logical); zero fill."""
+    bits = list(data_bits)
+    w = len(bits)
+    zero = nl.add_gate("TIELO", [])
+    for stage, sel in enumerate(shamt_bits):
+        dist = 1 << stage
+        shifted: List[str] = []
+        for i in range(w):
+            src = i - dist if left else i + dist
+            shifted.append(bits[src] if 0 <= src < w else zero)
+        bits = [
+            nl.add_gate("MUX2", [bits[i], shifted[i], sel]) for i in range(w)
+        ]
+    return bits
+
+
+def logic_unit(
+    nl: Netlist, a_bits: Sequence[str], b_bits: Sequence[str]
+) -> Tuple[List[str], List[str], List[str]]:
+    """Bitwise AND / OR / XOR words."""
+    ands = [nl.add_gate("AND2", [a, b]) for a, b in zip(a_bits, b_bits)]
+    ors = [nl.add_gate("OR2", [a, b]) for a, b in zip(a_bits, b_bits)]
+    xors = [nl.add_gate("XOR2", [a, b]) for a, b in zip(a_bits, b_bits)]
+    return ands, ors, xors
+
+
+def binary_decoder(nl: Netlist, sel_bits: Sequence[str]) -> List[str]:
+    """n-to-2^n one-hot decoder built from inverter + AND trees."""
+    n = len(sel_bits)
+    inv = [nl.add_gate("INV", [s]) for s in sel_bits]
+    lines: List[str] = []
+    for code in range(1 << n):
+        terms = [
+            sel_bits[b] if (code >> b) & 1 else inv[b] for b in range(n)
+        ]
+        # balanced AND tree over n literals
+        while len(terms) > 1:
+            nxt: List[str] = []
+            i = 0
+            while i < len(terms):
+                if i + 2 < len(terms) and len(terms) % 3 == 0:
+                    nxt.append(
+                        nl.add_gate("AND3", [terms[i], terms[i + 1], terms[i + 2]])
+                    )
+                    i += 3
+                elif i + 1 < len(terms):
+                    nxt.append(nl.add_gate("AND2", [terms[i], terms[i + 1]]))
+                    i += 2
+                else:
+                    nxt.append(terms[i])
+                    i += 1
+            terms = nxt
+        lines.append(terms[0])
+    return lines
+
+
+def nor_reduce(nl: Netlist, bits: Sequence[str]) -> str:
+    """Zero-detect: OR-tree followed by a final inverter."""
+    terms = list(bits)
+    while len(terms) > 1:
+        nxt: List[str] = []
+        i = 0
+        while i < len(terms):
+            if i + 1 < len(terms):
+                nxt.append(nl.add_gate("OR2", [terms[i], terms[i + 1]]))
+                i += 2
+            else:
+                nxt.append(terms[i])
+                i += 1
+        terms = nxt
+    return nl.add_gate("INV", [terms[0]])
+
+
+# ----------------------------------------------------------------------
+# Decode stage
+# ----------------------------------------------------------------------
+#: opcode one-hot lines feeding each control signal of the decode PLA;
+#: a fixed, documented pattern standing in for the Alpha control ROM.
+_DECODE_PLA_TERMS: Tuple[Tuple[int, ...], ...] = tuple(
+    tuple(sorted({(3 * s + 7 * t) % 64 for t in range(5 + (s % 4))}))
+    for s in range(16)
+)
+
+
+def build_decode_stage() -> PipeStage:
+    """32-bit instruction decode: opcode/register decoders + control PLA.
+
+    Instruction layout (MIPS-like): ``[5:0]`` opcode is bits 26..31,
+    rs = 21..25, rt = 16..20, rd = 11..15, imm = 0..15.
+    Outputs: 16 control signals, three 32-line register one-hots, and
+    the 32-bit sign-extended immediate.
+    """
+    nl = Netlist("decode")
+    instr = nl.add_inputs("ir", 32)
+    opcode = instr[26:32]
+    rs, rt, rd = instr[21:26], instr[16:21], instr[11:16]
+    imm = instr[0:16]
+
+    op_lines = binary_decoder(nl, opcode)
+
+    controls: List[str] = []
+    for terms in _DECODE_PLA_TERMS:
+        nodes = [op_lines[t] for t in terms]
+        while len(nodes) > 1:
+            nxt: List[str] = []
+            i = 0
+            while i < len(nodes):
+                if i + 1 < len(nodes):
+                    nxt.append(nl.add_gate("OR2", [nodes[i], nodes[i + 1]]))
+                    i += 2
+                else:
+                    nxt.append(nodes[i])
+                    i += 1
+            nodes = nxt
+        controls.append(nl.add_gate("BUF", [nodes[0]]))
+
+    rs_onehot = binary_decoder(nl, rs)
+    rt_onehot = binary_decoder(nl, rt)
+    rd_onehot = binary_decoder(nl, rd)
+
+    sign = imm[15]
+    ext = [nl.add_gate("BUF", [b]) for b in imm]
+    ext += [nl.add_gate("BUF", [sign]) for _ in range(16)]
+
+    # The opcode one-hot travels down the pipe alongside the derived
+    # control word, so the unused decoder lines are real outputs too.
+    nl.set_outputs(controls + op_lines + rs_onehot + rt_onehot + rd_onehot + ext)
+    nl.validate()
+
+    def encode(instruction_words: np.ndarray) -> np.ndarray:
+        return int_to_bits(np.asarray(instruction_words) & 0xFFFFFFFF, 32)
+
+    return PipeStage("decode", nl, encode, ("instruction_words",))
+
+
+# ----------------------------------------------------------------------
+# SimpleALU stage
+# ----------------------------------------------------------------------
+def build_simple_alu_stage(width: int = 32) -> PipeStage:
+    """Adder + logic unit + result mux + zero detect.
+
+    Operands: ``a``, ``b`` (unsigned, ``width`` bits) and a 2-bit op
+    select (00 add, 01 and, 10 or, 11 xor).
+    """
+    nl = Netlist(f"simple_alu{width}")
+    a = nl.add_inputs("a", width)
+    b = nl.add_inputs("b", width)
+    op = nl.add_inputs("op", 2)
+
+    sums, cout = ripple_carry_adder(nl, a, b)
+    ands, ors, xors = logic_unit(nl, a, b)
+
+    result: List[str] = []
+    for i in range(width):
+        lo = nl.add_gate("MUX2", [sums[i], ands[i], op[0]])
+        hi = nl.add_gate("MUX2", [ors[i], xors[i], op[0]])
+        result.append(nl.add_gate("MUX2", [lo, hi, op[1]]))
+    zero = nor_reduce(nl, result)
+
+    nl.set_outputs(result + [cout, zero])
+    nl.validate()
+
+    mask = (1 << width) - 1
+
+    def encode(a_vals: np.ndarray, b_vals: np.ndarray, op_vals: np.ndarray) -> np.ndarray:
+        return np.concatenate(
+            [
+                int_to_bits(np.asarray(a_vals) & mask, width),
+                int_to_bits(np.asarray(b_vals) & mask, width),
+                int_to_bits(np.asarray(op_vals) & 3, 2),
+            ],
+            axis=1,
+        )
+
+    return PipeStage(f"simple_alu{width}", nl, encode, ("a_vals", "b_vals", "op_vals"))
+
+
+# ----------------------------------------------------------------------
+# ComplexALU stage
+# ----------------------------------------------------------------------
+def build_complex_alu_stage(width: int = 16) -> PipeStage:
+    """Array multiplier + barrel shifter, result-muxed.
+
+    Operands: ``a``, ``b`` (``width`` bits), a ``log2(width)``-bit shift
+    amount and a 1-bit op select (0 = multiply-low, 1 = shift-right).
+    """
+    if width & (width - 1):
+        raise ValueError("width must be a power of two")
+    nl = Netlist(f"complex_alu{width}")
+    a = nl.add_inputs("a", width)
+    b = nl.add_inputs("b", width)
+    log_w = width.bit_length() - 1
+    shamt = nl.add_inputs("sh", log_w)
+    op = nl.add_inputs("op", 1)
+
+    product = array_multiplier(nl, a, b)
+    shifted = barrel_shifter(nl, a, shamt, left=False)
+
+    low = [
+        nl.add_gate("MUX2", [product[i], shifted[i], op[0]]) for i in range(width)
+    ]
+    high = [nl.add_gate("BUF", [p]) for p in product[width:]]
+    nl.set_outputs(low + high)
+    nl.validate()
+
+    mask = (1 << width) - 1
+
+    def encode(
+        a_vals: np.ndarray,
+        b_vals: np.ndarray,
+        sh_vals: np.ndarray,
+        op_vals: np.ndarray,
+    ) -> np.ndarray:
+        return np.concatenate(
+            [
+                int_to_bits(np.asarray(a_vals) & mask, width),
+                int_to_bits(np.asarray(b_vals) & mask, width),
+                int_to_bits(np.asarray(sh_vals) & (width - 1), log_w),
+                int_to_bits(np.asarray(op_vals) & 1, 1),
+            ],
+            axis=1,
+        )
+
+    return PipeStage(
+        f"complex_alu{width}", nl, encode, ("a_vals", "b_vals", "sh_vals", "op_vals")
+    )
+
+
+@lru_cache(maxsize=None)
+def get_stage(name: str, width: int = 0) -> PipeStage:
+    """Stage factory with caching.
+
+    ``name`` is one of :data:`STAGE_NAMES`; ``width = 0`` selects the
+    per-stage default (32-bit SimpleALU, 16-bit ComplexALU).
+    """
+    if name == "decode":
+        return build_decode_stage()
+    if name == "simple_alu":
+        return build_simple_alu_stage(width or 32)
+    if name == "complex_alu":
+        return build_complex_alu_stage(width or 16)
+    raise ValueError(f"unknown stage {name!r}; expected one of {STAGE_NAMES}")

@@ -1,0 +1,155 @@
+"""Structural Verilog export / import for netlists.
+
+Lets the synthesised stages interoperate with standard EDA flows: a
+:class:`~repro.circuit.netlist.Netlist` round-trips through a gate-level
+structural Verilog module using the repo's cell library as primitives
+(``INV``, ``NAND2``, ..., instantiated positionally).
+
+Only the structural subset is supported -- exactly what gate-level
+netlists need: one module, ``input``/``output``/``wire`` declarations
+and primitive instantiations.  Escaped identifiers, expressions and
+behavioural constructs are rejected with clear errors.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Dict, List, Tuple
+
+from .gates import GATE_LIBRARY
+from .netlist import Netlist, NetlistError
+
+__all__ = ["to_verilog", "from_verilog", "VerilogError"]
+
+
+class VerilogError(ValueError):
+    """Raised on malformed or unsupported Verilog input."""
+
+
+_IDENT = re.compile(r"^[A-Za-z_][A-Za-z0-9_$]*$")
+
+
+def _check_ident(name: str) -> str:
+    if not _IDENT.match(name):
+        raise VerilogError(
+            f"net/instance name {name!r} is not a plain Verilog identifier"
+        )
+    return name
+
+
+def to_verilog(netlist: Netlist, module_name: str | None = None) -> str:
+    """Emit the netlist as a structural Verilog module.
+
+    Tie cells become constant assignments; every other gate is a
+    positional primitive instantiation ``TYPE name (out, in...);``.
+    """
+    name = module_name or netlist.name
+    _check_ident(name)
+    inputs = netlist.inputs
+    outputs = netlist.outputs
+    for n in set(inputs) | set(outputs):
+        _check_ident(n)
+
+    io = inputs + [o for o in outputs if o not in inputs]
+    wires = [
+        n
+        for n in netlist.nets()
+        if n not in inputs and n not in outputs
+    ]
+    lines: List[str] = [f"module {name} ({', '.join(io)});"]
+    for n in inputs:
+        lines.append(f"  input {n};")
+    for n in outputs:
+        lines.append(f"  output {n};")
+    for n in wires:
+        _check_ident(n)
+        lines.append(f"  wire {n};")
+    for gate in netlist.topological_order():
+        _check_ident(gate.name)
+        if gate.gtype.name == "TIEHI":
+            lines.append(f"  assign {gate.output} = 1'b1;")
+        elif gate.gtype.name == "TIELO":
+            lines.append(f"  assign {gate.output} = 1'b0;")
+        else:
+            pins = ", ".join([gate.output, *gate.inputs])
+            lines.append(f"  {gate.gtype.name} {gate.name} ({pins});")
+    lines.append("endmodule")
+    return "\n".join(lines) + "\n"
+
+
+def _strip_comments(text: str) -> str:
+    text = re.sub(r"//[^\n]*", "", text)
+    text = re.sub(r"/\*.*?\*/", "", text, flags=re.DOTALL)
+    return text
+
+
+def from_verilog(text: str) -> Netlist:
+    """Parse a structural Verilog module back into a netlist.
+
+    Accepts exactly the subset :func:`to_verilog` emits (plus flexible
+    whitespace): primitive instantiations over the repo's cell
+    library, constant assigns for tie cells.
+    """
+    text = _strip_comments(text)
+    m = re.search(r"\bmodule\s+([A-Za-z_][\w$]*)\s*\((.*?)\)\s*;", text, re.DOTALL)
+    if not m:
+        raise VerilogError("no module header found")
+    mod_name = m.group(1)
+    body_match = re.search(r";(.*)\bendmodule\b", text, re.DOTALL)
+    if not body_match:
+        raise VerilogError("no endmodule found")
+    body = text[m.end() : text.rindex("endmodule")]
+
+    nl = Netlist(mod_name)
+    outputs: List[str] = []
+    statements = [s.strip() for s in body.split(";") if s.strip()]
+    instantiations: List[Tuple[str, str, List[str]]] = []
+    assigns: List[Tuple[str, str]] = []
+
+    for stmt in statements:
+        head = stmt.split()[0]
+        if head == "input":
+            for n in re.split(r"[,\s]+", stmt[len("input"):].strip()):
+                if n:
+                    nl.add_input(_check_ident(n))
+        elif head == "output":
+            for n in re.split(r"[,\s]+", stmt[len("output"):].strip()):
+                if n:
+                    outputs.append(_check_ident(n))
+        elif head == "wire":
+            continue  # wires are implied by drivers
+        elif head == "assign":
+            am = re.match(r"assign\s+([\w$]+)\s*=\s*1'b([01])$", stmt)
+            if not am:
+                raise VerilogError(f"unsupported assign: {stmt!r}")
+            assigns.append((am.group(1), am.group(2)))
+        else:
+            im = re.match(r"([\w$]+)\s+([\w$]+)\s*\((.*)\)$", stmt, re.DOTALL)
+            if not im:
+                raise VerilogError(f"unsupported statement: {stmt!r}")
+            gtype, inst, pins = im.group(1), im.group(2), im.group(3)
+            if gtype not in GATE_LIBRARY:
+                raise VerilogError(
+                    f"unknown primitive {gtype!r} (instance {inst!r})"
+                )
+            pin_list = [p.strip() for p in pins.split(",") if p.strip()]
+            instantiations.append((gtype, inst, pin_list))
+
+    for net, value in assigns:
+        nl.add_gate("TIEHI" if value == "1" else "TIELO", [], output=net)
+    for gtype, inst, pins in instantiations:
+        expected = GATE_LIBRARY[gtype].n_inputs + 1
+        if len(pins) != expected:
+            raise VerilogError(
+                f"instance {inst!r}: {gtype} needs {expected} pins, got "
+                f"{len(pins)}"
+            )
+        out, *ins = pins
+        nl.add_gate(gtype, ins, output=out, name=inst)
+
+    try:
+        nl.set_outputs(outputs)
+        nl.topological_order()
+    except NetlistError as exc:
+        raise VerilogError(f"structural check failed: {exc}") from exc
+    return nl

@@ -1,0 +1,95 @@
+"""SynTS core: the paper's contribution.
+
+System model (Eqs. 4.1-4.3), the SynTS-OPT objective (Eq. 4.4), the
+exact polynomial-time solver SynTS-Poly (Algorithm 1), the SynTS-MILP
+formulation (Eqs. 4.5-4.10), the comparison baselines, the online
+sampling controller (Section 4.3) and theta-sweep Pareto tooling.
+"""
+
+from .baselines import SOLVERS, solve_no_ts, solve_nominal, solve_per_core_ts
+from .brute import solve_synts_brute
+from .metrics import NormalizedMetrics, edp, relative_change
+from .milp_formulation import build_synts_milp, solve_synts_milp
+from .model import (
+    DEFAULT_TSR_LEVELS,
+    Assignment,
+    Evaluation,
+    OperatingPoint,
+    PlatformConfig,
+    ThreadParams,
+    effective_cpi,
+    evaluate_assignment,
+    thread_energy,
+    thread_time,
+)
+from .online import IntervalOutcome, OnlineKnobs, run_online_interval
+from .pareto import (
+    TradeoffPoint,
+    best_energy_at_time,
+    pareto_front,
+    sweep_theta,
+    theta_grid,
+)
+from .poly import SynTSSolution, solve_synts_poly
+from .problem import SynTSProblem, problem_from_interval
+from .runner import (
+    BenchmarkRun,
+    OnlineBenchmarkRun,
+    interval_problems,
+    run_offline_benchmark,
+    run_online_benchmark,
+)
+from .sync_extensions import (
+    SyncSolution,
+    SyncTopology,
+    barrier_topology,
+    phased_topology,
+    serial_topology,
+    solve_synts_sync,
+)
+
+__all__ = [
+    "DEFAULT_TSR_LEVELS",
+    "OperatingPoint",
+    "PlatformConfig",
+    "ThreadParams",
+    "Assignment",
+    "Evaluation",
+    "effective_cpi",
+    "thread_time",
+    "thread_energy",
+    "evaluate_assignment",
+    "SynTSProblem",
+    "problem_from_interval",
+    "SynTSSolution",
+    "solve_synts_poly",
+    "solve_synts_brute",
+    "build_synts_milp",
+    "solve_synts_milp",
+    "solve_nominal",
+    "solve_no_ts",
+    "solve_per_core_ts",
+    "SOLVERS",
+    "OnlineKnobs",
+    "IntervalOutcome",
+    "run_online_interval",
+    "BenchmarkRun",
+    "OnlineBenchmarkRun",
+    "interval_problems",
+    "run_offline_benchmark",
+    "run_online_benchmark",
+    "TradeoffPoint",
+    "theta_grid",
+    "sweep_theta",
+    "pareto_front",
+    "best_energy_at_time",
+    "edp",
+    "relative_change",
+    "NormalizedMetrics",
+    "SyncTopology",
+    "SyncSolution",
+    "barrier_topology",
+    "serial_topology",
+    "phased_topology",
+    "solve_synts_sync",
+]

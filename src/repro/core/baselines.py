@@ -1,0 +1,101 @@
+"""The paper's comparison schemes (Section 6, bullet list).
+
+* **Nominal** -- every core at the top voltage and r = 1; no scaling,
+  no speculation.  The normalisation baseline of Figs. 6.11-6.16.
+* **No-TS** -- joint voltage optimisation of Eq. 4.4 but with timing
+  speculation disabled (r fixed at 1): the conventional barrier-aware
+  DVFS of Liu et al. [15].
+* **Per-core TS** -- each core independently minimises its *own*
+  ``en_i + theta * t_i`` over all (V, r): a best-case bound for
+  single-core timing-speculation schemes (Razor) naively applied
+  per-core, with offline access to the true error functions.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .poly import SynTSSolution, solve_synts_poly
+from .problem import SynTSProblem
+
+__all__ = [
+    "solve_nominal",
+    "solve_no_ts",
+    "solve_per_core_ts",
+    "SOLVERS",
+]
+
+
+def solve_nominal(problem: SynTSProblem, theta: float = 0.0) -> SynTSSolution:
+    """All cores at (V_max, r = 1)."""
+    j, k = 0, problem.config.n_tsr - 1
+    indices = tuple((j, k) for _ in range(problem.n_threads))
+    evaluation = problem.evaluate_indices(indices)
+    times = np.array(evaluation.times)
+    return SynTSSolution(
+        indices=indices,
+        assignment=problem.assignment_from_indices(indices),
+        evaluation=evaluation,
+        cost=float(evaluation.cost(theta)),
+        theta=theta,
+        critical_thread=int(np.argmax(times)),
+    )
+
+
+def solve_no_ts(problem: SynTSProblem, theta: float) -> SynTSSolution:
+    """Joint DVFS without speculation: Eq. 4.4 restricted to r = 1.
+
+    Runs SynTS-Poly on the r = 1 slice, then re-expresses the solution
+    in the full configuration space (TSR index of r = 1).
+    """
+    restricted = problem.restrict_tsr([1.0])
+    sol = solve_synts_poly(restricted, theta)
+    k_full = problem.config.n_tsr - 1
+    indices = tuple((j, k_full) for (j, _) in sol.indices)
+    evaluation = problem.evaluate_indices(indices)
+    return SynTSSolution(
+        indices=indices,
+        assignment=problem.assignment_from_indices(indices),
+        evaluation=evaluation,
+        cost=float(evaluation.cost(theta)),
+        theta=theta,
+        critical_thread=sol.critical_thread,
+    )
+
+
+def solve_per_core_ts(problem: SynTSProblem, theta: float) -> SynTSSolution:
+    """Independent per-core optimisation (existing TS schemes).
+
+    Each core minimises ``en_i + theta * t_i`` in isolation; the
+    barrier max-semantics is ignored at decision time (that is exactly
+    the deficiency SynTS fixes) but applied at evaluation time.
+    """
+    if theta < 0:
+        raise ValueError("theta must be non-negative")
+    cfg = problem.config
+    m, s = problem.n_threads, cfg.n_tsr
+    times = problem.time_table.reshape(m, -1)
+    energies = problem.energy_table.reshape(m, -1)
+    indices = []
+    for i in range(m):
+        flat = int(np.argmin(energies[i] + theta * times[i]))
+        indices.append((flat // s, flat % s))
+    evaluation = problem.evaluate_indices(indices)
+    times_arr = np.array(evaluation.times)
+    return SynTSSolution(
+        indices=tuple(indices),
+        assignment=problem.assignment_from_indices(indices),
+        evaluation=evaluation,
+        cost=float(evaluation.cost(theta)),
+        theta=theta,
+        critical_thread=int(np.argmax(times_arr)),
+    )
+
+
+#: Registry used by the experiment drivers.
+SOLVERS = {
+    "nominal": solve_nominal,
+    "no_ts": solve_no_ts,
+    "per_core_ts": solve_per_core_ts,
+    "synts": solve_synts_poly,
+}

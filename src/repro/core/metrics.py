@@ -1,0 +1,42 @@
+"""Energy/performance metrics and normalisation helpers."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping
+
+__all__ = ["edp", "relative_change", "NormalizedMetrics"]
+
+
+def edp(energy: float, time: float) -> float:
+    """Energy-delay product."""
+    if energy < 0 or time < 0:
+        raise ValueError("energy and time must be non-negative")
+    return energy * time
+
+
+def relative_change(new: float, baseline: float) -> float:
+    """(new - baseline) / baseline; negative means improvement."""
+    if baseline == 0:
+        raise ZeroDivisionError("baseline is zero")
+    return (new - baseline) / baseline
+
+
+@dataclass(frozen=True)
+class NormalizedMetrics:
+    """A scheme's totals normalised to a reference scheme."""
+
+    energy: float
+    time: float
+
+    @property
+    def edp(self) -> float:
+        return self.energy * self.time
+
+    @classmethod
+    def from_absolute(
+        cls, energy: float, time: float, ref_energy: float, ref_time: float
+    ) -> "NormalizedMetrics":
+        if ref_energy <= 0 or ref_time <= 0:
+            raise ValueError("reference totals must be positive")
+        return cls(energy=energy / ref_energy, time=time / ref_time)

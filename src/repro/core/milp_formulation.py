@@ -1,0 +1,110 @@
+"""SynTS-MILP: the paper's exact MILP formulation (Eqs. 4.5-4.10).
+
+Binary ``x_ijk`` selects voltage level j and TSR level k for thread i;
+a continuous ``t_exec`` upper-bounds every thread's completion time.
+Because the per-configuration time and energy are constants
+(``T[i,j,k]``, ``E[i,j,k]``), Eqs. 4.6-4.9 collapse into linear
+constraints in ``x``:
+
+    minimise   sum_ijk E[i,j,k] x_ijk + theta * t_exec        (4.5)
+    s.t.       t_exec >= sum_jk T[i,j,k] x_ijk      for all i (4.6-4.7)
+               sum_jk x_ijk = 1                     for all i (4.10)
+
+Solved exactly with the in-repo branch-and-bound engine; used to
+cross-validate SynTS-Poly (they must agree to numerical tolerance).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+import numpy as np
+
+from repro.milp import MILP, MILPStatus, Sense, solve_milp
+
+from .poly import SynTSSolution
+from .problem import SynTSProblem
+
+__all__ = ["build_synts_milp", "solve_synts_milp"]
+
+
+def build_synts_milp(
+    problem: SynTSProblem, theta: float
+) -> Tuple[MILP, Dict[Tuple[int, int, int], int], int]:
+    """Construct the MILP; returns (model, x-index map, t_exec index)."""
+    if theta < 0:
+        raise ValueError("theta must be non-negative")
+    cfg = problem.config
+    m, q, s = problem.n_threads, cfg.n_voltages, cfg.n_tsr
+    t_table = problem.time_table
+    e_table = problem.energy_table
+
+    milp = MILP("synts")
+    x_idx: Dict[Tuple[int, int, int], int] = {}
+    for i in range(m):
+        for j in range(q):
+            for k in range(s):
+                x_idx[(i, j, k)] = milp.add_binary(f"x_{i}_{j}_{k}")
+    texec = milp.add_variable("t_exec", lb=0.0)
+
+    objective = {
+        x_idx[(i, j, k)]: float(e_table[i, j, k])
+        for i in range(m)
+        for j in range(q)
+        for k in range(s)
+    }
+    objective[texec] = theta
+    milp.set_objective(objective)
+
+    for i in range(m):
+        # Eq. 4.10: exactly one configuration per thread.
+        milp.add_constraint(
+            {x_idx[(i, j, k)]: 1.0 for j in range(q) for k in range(s)},
+            Sense.EQ,
+            1.0,
+        )
+        # Eq. 4.6: t_exec dominates thread i's completion time.
+        coeffs = {
+            x_idx[(i, j, k)]: float(t_table[i, j, k])
+            for j in range(q)
+            for k in range(s)
+        }
+        coeffs[texec] = -1.0
+        milp.add_constraint(coeffs, Sense.LE, 0.0)
+    return milp, x_idx, texec
+
+
+def solve_synts_milp(problem: SynTSProblem, theta: float) -> SynTSSolution:
+    """Solve SynTS-OPT through the MILP route (exact)."""
+    milp, x_idx, _ = build_synts_milp(problem, theta)
+    result = solve_milp(milp)
+    if result.status is not MILPStatus.OPTIMAL:
+        raise RuntimeError(f"SynTS-MILP did not solve to optimality: {result.status}")
+
+    cfg = problem.config
+    m, q, s = problem.n_threads, cfg.n_voltages, cfg.n_tsr
+    indices = []
+    for i in range(m):
+        chosen = [
+            (j, k)
+            for j in range(q)
+            for k in range(s)
+            if result.x[x_idx[(i, j, k)]] > 0.5
+        ]
+        if len(chosen) != 1:
+            raise RuntimeError(
+                f"thread {i}: expected exactly one active configuration, "
+                f"got {len(chosen)}"
+            )
+        indices.append(chosen[0])
+
+    evaluation = problem.evaluate_indices(indices)
+    times = np.array(evaluation.times)
+    return SynTSSolution(
+        indices=tuple(indices),
+        assignment=problem.assignment_from_indices(indices),
+        evaluation=evaluation,
+        cost=float(evaluation.cost(theta)),
+        theta=theta,
+        critical_thread=int(np.argmax(times)),
+    )

@@ -1,0 +1,133 @@
+"""SynTS-Poly: the paper's polynomial-time exact algorithm (Alg. 1).
+
+The insight: some thread is *critical* (attains the barrier time).
+Enumerate which thread i is critical and its configuration (j, k);
+``texec`` is then fixed to ``T[i, j, k]``, and every other thread
+independently takes its cheapest configuration finishing no later than
+``texec`` (``minEnergy``).  The cheapest of all candidates is optimal
+(Lemma 4.2.1).  Complexity O(M^2 Q^2 S^2) naively; this implementation
+sorts each thread's configurations by time and prefix-minimises energy,
+giving O(M Q S (log(QS) + M)).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import lru_cache
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from .model import Assignment, Evaluation
+from .problem import SynTSProblem
+
+__all__ = ["SynTSSolution", "solve_synts_poly"]
+
+
+@dataclass(frozen=True)
+class SynTSSolution:
+    """Optimal solution of SynTS-OPT for one barrier interval.
+
+    Attributes
+    ----------
+    indices:
+        Per-thread (voltage index, TSR index).
+    assignment:
+        Per-thread operating points.
+    evaluation:
+        Energies/times under the assignment.
+    cost:
+        ``sum(en) + theta * texec`` (Eq. 4.4) at the solve's theta.
+    theta:
+        The weight used.
+    critical_thread:
+        The enumerated critical thread of the winning candidate.
+    """
+
+    indices: Tuple[Tuple[int, int], ...]
+    assignment: Assignment
+    evaluation: Evaluation
+    cost: float
+    theta: float
+    critical_thread: int
+
+
+def _sorted_prefix_tables(problem: SynTSProblem):
+    """Per-thread configurations sorted by time with prefix-min energy.
+
+    Returns ``(times_sorted, prefix_min_energy, argmin_flat_index)``
+    arrays of shape (M, Q*S): ``argmin_flat_index[i, n]`` is the flat
+    (j*S + k) index of the cheapest configuration of thread i among
+    its n+1 fastest configurations.
+    """
+    t = problem.time_table.reshape(problem.n_threads, -1)
+    e = problem.energy_table.reshape(problem.n_threads, -1)
+    order = np.argsort(t, axis=1, kind="stable")
+    t_sorted = np.take_along_axis(t, order, axis=1)
+    e_sorted = np.take_along_axis(e, order, axis=1)
+
+    m, n = e_sorted.shape
+    prefix_min = np.minimum.accumulate(e_sorted, axis=1)
+    # index (into the sorted order) achieving the prefix minimum
+    argmin_sorted = np.empty((m, n), dtype=np.int64)
+    for i in range(m):
+        best, best_idx = np.inf, -1
+        for pos in range(n):
+            if e_sorted[i, pos] < best:
+                best, best_idx = e_sorted[i, pos], pos
+            argmin_sorted[i, pos] = best_idx
+    argmin_flat = np.take_along_axis(order, argmin_sorted, axis=1)
+    return t_sorted, prefix_min, argmin_flat
+
+
+def solve_synts_poly(problem: SynTSProblem, theta: float) -> SynTSSolution:
+    """Exactly minimise ``sum en_i + theta * t_exec`` (Algorithm 1)."""
+    if theta < 0:
+        raise ValueError("theta must be non-negative")
+    cfg = problem.config
+    m = problem.n_threads
+    q, s = cfg.n_voltages, cfg.n_tsr
+    times = problem.time_table.reshape(m, -1)
+    energies = problem.energy_table.reshape(m, -1)
+    t_sorted, prefix_min_e, argmin_flat = _sorted_prefix_tables(problem)
+
+    best_cost = np.inf
+    best: Optional[Tuple[int, int, np.ndarray]] = None  # (i, flat cfg, others)
+
+    for i in range(m):
+        for flat in range(q * s):
+            texec = times[i, flat]
+            total_e = energies[i, flat]
+            others = np.full(m, -1, dtype=np.int64)
+            others[i] = flat
+            feasible = True
+            for l in range(m):
+                if l == i:
+                    continue
+                # how many of l's sorted configs finish within texec
+                pos = int(np.searchsorted(t_sorted[l], texec, side="right")) - 1
+                if pos < 0:
+                    feasible = False
+                    break
+                total_e += prefix_min_e[l, pos]
+                others[l] = argmin_flat[l, pos]
+            if not feasible:
+                continue
+            cost = total_e + theta * texec
+            if cost < best_cost - 1e-15:
+                best_cost = cost
+                best = (i, flat, others)
+
+    if best is None:
+        raise RuntimeError("SynTS-Poly found no feasible candidate (impossible)")
+    crit, _, flat_assignment = best
+    indices = tuple((int(f) // s, int(f) % s) for f in flat_assignment)
+    evaluation = problem.evaluate_indices(indices)
+    return SynTSSolution(
+        indices=indices,
+        assignment=problem.assignment_from_indices(indices),
+        evaluation=evaluation,
+        cost=float(evaluation.cost(theta)),
+        theta=theta,
+        critical_thread=crit,
+    )

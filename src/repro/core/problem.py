@@ -1,0 +1,136 @@
+"""SynTS-OPT problem container and precomputed cost tables.
+
+``SynTSProblem`` bundles a platform configuration with the per-thread
+parameters of one barrier interval, and precomputes the time/energy
+tables ``T[i, j, k]`` / ``E[i, j, k]`` (thread i at voltage level j and
+TSR level k) that every solver -- SynTS-Poly, the MILP builder, the
+brute-force reference and the baselines -- consumes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import cached_property
+from typing import Sequence, Tuple
+
+import numpy as np
+
+from repro.workloads.model import BarrierInterval
+
+from .model import (
+    Assignment,
+    Evaluation,
+    OperatingPoint,
+    PlatformConfig,
+    ThreadParams,
+    effective_cpi,
+)
+
+__all__ = ["SynTSProblem", "problem_from_interval"]
+
+
+@dataclass(frozen=True)
+class SynTSProblem:
+    """One barrier interval's optimisation instance."""
+
+    config: PlatformConfig
+    threads: Tuple[ThreadParams, ...]
+
+    def __post_init__(self):
+        if not self.threads:
+            raise ValueError("need at least one thread")
+
+    @property
+    def n_threads(self) -> int:
+        return len(self.threads)
+
+    # ------------------------------------------------------------------
+    # precomputed tables
+    # ------------------------------------------------------------------
+    @cached_property
+    def _tables(self) -> Tuple[np.ndarray, np.ndarray]:
+        cfg = self.config
+        m, q, s = self.n_threads, cfg.n_voltages, cfg.n_tsr
+        times = np.empty((m, q, s))
+        energies = np.empty((m, q, s))
+        tsr = np.asarray(cfg.tsr_levels)
+        for i, th in enumerate(self.threads):
+            perr = np.clip(th.err.curve(tsr), 0.0, 1.0)
+            cycles = th.n_instructions * (
+                perr * cfg.c_penalty + th.cpi_base
+            )  # (s,)
+            for j, v in enumerate(cfg.voltages):
+                tclk = tsr * cfg.tnom(v)
+                times[i, j, :] = cycles * tclk
+                energies[i, j, :] = cfg.alpha * v**2 * cycles
+                if cfg.leakage:
+                    # static power integrated over the thread's time
+                    energies[i, j, :] += (
+                        cfg.leakage * cfg.alpha * v * cycles * tclk
+                    )
+        return times, energies
+
+    @property
+    def time_table(self) -> np.ndarray:
+        """``T[i, j, k]``: thread i's completion time at (V_j, R_k)."""
+        return self._tables[0]
+
+    @property
+    def energy_table(self) -> np.ndarray:
+        """``E[i, j, k]``: thread i's energy at (V_j, R_k)."""
+        return self._tables[1]
+
+    # ------------------------------------------------------------------
+    # helpers
+    # ------------------------------------------------------------------
+    def point(self, j: int, k: int) -> OperatingPoint:
+        return OperatingPoint(
+            voltage=self.config.voltages[j], tsr=self.config.tsr_levels[k]
+        )
+
+    def assignment_from_indices(
+        self, indices: Sequence[Tuple[int, int]]
+    ) -> Assignment:
+        return Assignment(points=tuple(self.point(j, k) for j, k in indices))
+
+    def evaluate_indices(self, indices: Sequence[Tuple[int, int]]) -> Evaluation:
+        t, e = self.time_table, self.energy_table
+        times = tuple(float(t[i, j, k]) for i, (j, k) in enumerate(indices))
+        energies = tuple(float(e[i, j, k]) for i, (j, k) in enumerate(indices))
+        return Evaluation(energies=energies, times=times)
+
+    def nominal_evaluation(self) -> Evaluation:
+        """All threads at the highest voltage, r = 1 (Nominal baseline)."""
+        j = 0
+        k = self.config.n_tsr - 1
+        return self.evaluate_indices([(j, k)] * self.n_threads)
+
+    def equal_weight_theta(self) -> float:
+        """Theta that weights energy and execution time equally, i.e.
+        makes the two terms of Eq. 4.4 equal at the Nominal baseline
+        (the convention used for the paper's Fig. 6.18)."""
+        ev = self.nominal_evaluation()
+        return ev.total_energy / ev.texec
+
+    def restrict_tsr(self, levels: Sequence[float]) -> "SynTSProblem":
+        return SynTSProblem(
+            config=self.config.restrict_tsr(levels), threads=self.threads
+        )
+
+
+def problem_from_interval(
+    interval: BarrierInterval,
+    stage: str,
+    config: PlatformConfig | None = None,
+) -> SynTSProblem:
+    """Build the optimisation instance for one (interval, pipe stage)."""
+    cfg = config or PlatformConfig()
+    threads = tuple(
+        ThreadParams(
+            n_instructions=t.instructions,
+            cpi_base=t.cpi_base,
+            err=t.error_function(stage),
+        )
+        for t in interval.threads
+    )
+    return SynTSProblem(config=cfg, threads=threads)

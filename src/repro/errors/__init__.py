@@ -1,0 +1,32 @@
+"""Timing-error modelling: error-probability functions, fitting and
+the online sampling estimator (paper Sections 4.1 and 4.3)."""
+
+from .estimation import SamplingPlan, SamplingRecord, estimate_error_function
+from .fitting import fit_beta_tail, isotonic_nondecreasing, isotonic_nonincreasing
+from .probability import (
+    BetaTailErrorFunction,
+    EmpiricalErrorFunction,
+    ErrorFunction,
+    TabulatedErrorFunction,
+    ZeroErrorFunction,
+    check_monotone_nonincreasing,
+)
+from .variation import ScaledErrorFunction, VariationModel, apply_variation
+
+__all__ = [
+    "ScaledErrorFunction",
+    "VariationModel",
+    "apply_variation",
+    "ErrorFunction",
+    "BetaTailErrorFunction",
+    "TabulatedErrorFunction",
+    "EmpiricalErrorFunction",
+    "ZeroErrorFunction",
+    "check_monotone_nonincreasing",
+    "SamplingPlan",
+    "SamplingRecord",
+    "estimate_error_function",
+    "isotonic_nonincreasing",
+    "isotonic_nondecreasing",
+    "fit_beta_tail",
+]

@@ -1,0 +1,203 @@
+"""Error-probability functions ``err(r)``.
+
+The paper's system model (Section 4.1) abstracts each thread's timing
+behaviour into a single function: the probability that an instruction
+suffers a timing error when the core runs at timing-speculation ratio
+``r`` (clock period = ``r`` x nominal).  ``err`` is non-increasing in
+``r``: a longer clock period can only reduce errors.
+
+Three concrete families are provided:
+
+* :class:`BetaTailErrorFunction` -- survival function of a Beta-shaped
+  sensitised-delay distribution; the parametric form used by the
+  calibrated SPLASH-2 workload profiles.
+* :class:`TabulatedErrorFunction` -- monotone piecewise-linear
+  interpolation of ``(r, p)`` samples; produced by the online sampling
+  estimator and by circuit-level characterisation.
+* :class:`EmpiricalErrorFunction` -- exact empirical tail of a raw
+  sensitised-delay sample array from the logic simulator.
+
+All are plain callables ``err(r) -> p`` that also accept numpy arrays.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+from scipy.stats import beta as beta_dist
+
+__all__ = [
+    "ErrorFunction",
+    "BetaTailErrorFunction",
+    "TabulatedErrorFunction",
+    "EmpiricalErrorFunction",
+    "ZeroErrorFunction",
+    "check_monotone_nonincreasing",
+]
+
+
+class ErrorFunction:
+    """Base class: a non-increasing map from TSR ``r`` to probability."""
+
+    def __call__(self, r):
+        raise NotImplementedError
+
+    def curve(self, ratios: Sequence[float]) -> np.ndarray:
+        """Vector of probabilities over a ratio grid."""
+        return np.asarray([float(self(float(r))) for r in ratios])
+
+
+@dataclass(frozen=True)
+class ZeroErrorFunction(ErrorFunction):
+    """A thread that never errs (e.g. r = 1 operation by definition)."""
+
+    def __call__(self, r):
+        return np.zeros_like(np.asarray(r, dtype=float)) if np.ndim(r) else 0.0
+
+
+@dataclass(frozen=True)
+class BetaTailErrorFunction(ErrorFunction):
+    """``err(r) = scale_p * P[D > r]`` for Beta-distributed delay D.
+
+    The normalised sensitised delay is modelled as
+    ``D ~ lo + (hi - lo) * Beta(a, b)``: delays live in ``[lo, hi]``
+    with ``hi <= 1`` (the STA critical path bounds every sensitised
+    path).  ``scale_p`` accounts for the fraction of instructions that
+    exercise the stage at all (an instruction that doesn't toggle the
+    stage cannot err in it).
+
+    Attributes
+    ----------
+    a, b:
+        Beta shape parameters; larger ``b/a`` pushes mass toward
+        ``lo`` (short typical paths, rare long ones).
+    lo, hi:
+        Support of the normalised delay distribution.
+    scale_p:
+        Activity factor in ``(0, 1]``.
+    """
+
+    a: float
+    b: float
+    lo: float = 0.0
+    hi: float = 1.0
+    scale_p: float = 1.0
+
+    def __post_init__(self):
+        if not (self.a > 0 and self.b > 0):
+            raise ValueError("Beta shape parameters must be positive")
+        if not (0.0 <= self.lo < self.hi <= 1.0 + 1e-12):
+            raise ValueError(f"invalid support [{self.lo}, {self.hi}]")
+        if not (0.0 < self.scale_p <= 1.0):
+            raise ValueError("scale_p must be in (0, 1]")
+
+    def __call__(self, r):
+        r = np.asarray(r, dtype=float)
+        x = (r - self.lo) / (self.hi - self.lo)
+        p = self.scale_p * beta_dist.sf(np.clip(x, 0.0, 1.0), self.a, self.b)
+        p = np.where(r >= self.hi, 0.0, p)
+        p = np.where(r <= self.lo, self.scale_p, p)
+        return float(p) if p.ndim == 0 else p
+
+    def sample_delays(self, n: int, rng: np.random.Generator) -> np.ndarray:
+        """Draw sensitised-delay samples consistent with this tail.
+
+        A delay is drawn from the Beta body with probability
+        ``scale_p``; otherwise the instruction does not exercise the
+        stage and its delay is ``lo`` (can never err above ``lo``).
+        """
+        body = self.lo + (self.hi - self.lo) * rng.beta(self.a, self.b, size=n)
+        active = rng.random(n) < self.scale_p
+        return np.where(active, body, self.lo)
+
+
+class TabulatedErrorFunction(ErrorFunction):
+    """Monotone piecewise-linear interpolation of ``(r, p)`` points.
+
+    Non-increasing monotonicity is *enforced* at construction (points
+    violating it raise unless ``project=True``, in which case they are
+    isotonically projected -- the behaviour the online estimator
+    relies on).  Queries outside the tabulated range clamp to the end
+    values.
+    """
+
+    def __init__(
+        self,
+        ratios: Sequence[float],
+        probs: Sequence[float],
+        project: bool = False,
+    ):
+        r = np.asarray(ratios, dtype=float)
+        p = np.asarray(probs, dtype=float)
+        if r.ndim != 1 or r.shape != p.shape or len(r) < 2:
+            raise ValueError("need matching 1-D arrays of >= 2 points")
+        order = np.argsort(r)
+        r, p = r[order], p[order]
+        if np.any(np.diff(r) <= 0):
+            raise ValueError("ratios must be distinct")
+        if np.any(p < -1e-12) or np.any(p > 1 + 1e-12):
+            raise ValueError("probabilities must lie in [0, 1]")
+        p = np.clip(p, 0.0, 1.0)
+        if np.any(np.diff(p) > 1e-12):
+            if not project:
+                raise ValueError(
+                    "error probabilities must be non-increasing in r "
+                    "(pass project=True to isotonically project)"
+                )
+            from .fitting import isotonic_nonincreasing
+
+            p = isotonic_nonincreasing(p)
+        self._r = r
+        self._p = p
+
+    @property
+    def ratios(self) -> np.ndarray:
+        return self._r.copy()
+
+    @property
+    def probs(self) -> np.ndarray:
+        return self._p.copy()
+
+    def __call__(self, r):
+        out = np.interp(np.asarray(r, dtype=float), self._r, self._p)
+        return float(out) if out.ndim == 0 else out
+
+
+class EmpiricalErrorFunction(ErrorFunction):
+    """Exact tail of a raw sensitised-delay sample array.
+
+    ``err(r)`` is the fraction of samples strictly above ``r`` --
+    automatically non-increasing, no fitting involved.  This is the
+    function the cross-layer characterisation produces.
+    """
+
+    def __init__(self, normalized_delays: Sequence[float]):
+        d = np.sort(np.asarray(normalized_delays, dtype=float))
+        if d.ndim != 1 or len(d) == 0:
+            raise ValueError("need a non-empty 1-D delay sample array")
+        if d[0] < -1e-12:
+            raise ValueError("normalised delays must be non-negative")
+        self._sorted = d
+
+    @property
+    def n_samples(self) -> int:
+        return len(self._sorted)
+
+    def __call__(self, r):
+        r = np.asarray(r, dtype=float)
+        idx = np.searchsorted(self._sorted, r, side="right")
+        out = 1.0 - idx / len(self._sorted)
+        return float(out) if out.ndim == 0 else out
+
+
+def check_monotone_nonincreasing(
+    err: ErrorFunction, ratios: Sequence[float], tol: float = 1e-9
+) -> bool:
+    """True iff ``err`` is non-increasing over the given grid."""
+    values = err.curve(ratios)
+    order = np.argsort(np.asarray(ratios, dtype=float))
+    values = values[order]
+    return bool(np.all(np.diff(values) <= tol))

@@ -1,0 +1,92 @@
+"""Process-variation modelling.
+
+The Razor line of work (RazorII, Sec. 2) targets PVT-induced delay
+variation; SynTS's thread-level heterogeneity composes with *core*-
+level process variation: a die's slow core sensitises longer delays
+for the same workload, shifting its error curve left.
+
+A core with speed factor ``k`` (k > 1 slower) scales every sensitised
+delay by ``k``; an instruction errs when ``k * delay > r``, so the
+core's effective error function is ``err(r / k)``.  Factors are drawn
+lognormally around 1 with sigma of a few percent -- typical inter-die
+spread at 22 nm.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence, Tuple
+
+import numpy as np
+
+from .probability import ErrorFunction
+
+__all__ = ["ScaledErrorFunction", "VariationModel", "apply_variation"]
+
+
+@dataclass(frozen=True)
+class ScaledErrorFunction(ErrorFunction):
+    """``err_k(r) = err(r / k)`` for a core with speed factor ``k``."""
+
+    base: ErrorFunction
+    speed_factor: float
+
+    def __post_init__(self):
+        if self.speed_factor <= 0:
+            raise ValueError("speed factor must be positive")
+
+    def __call__(self, r):
+        r = np.asarray(r, dtype=float)
+        out = np.clip(self.base(r / self.speed_factor), 0.0, 1.0)
+        return float(out) if out.ndim == 0 else out
+
+
+@dataclass(frozen=True)
+class VariationModel:
+    """Lognormal inter-core speed variation.
+
+    Attributes
+    ----------
+    sigma:
+        Standard deviation of ``ln(speed factor)``; 0 disables
+        variation entirely.
+    """
+
+    sigma: float
+
+    def __post_init__(self):
+        if self.sigma < 0:
+            raise ValueError("sigma must be non-negative")
+
+    def core_factors(self, m: int, rng: np.random.Generator) -> np.ndarray:
+        """Draw one speed factor per core (1.0 = nominal speed)."""
+        if self.sigma == 0.0:
+            return np.ones(m)
+        return np.exp(rng.normal(0.0, self.sigma, size=m))
+
+
+def apply_variation(problem, factors: Sequence[float]):
+    """A copy of a :class:`repro.core.problem.SynTSProblem` with
+    per-core speed factors applied.
+
+    Each thread's error function is wrapped so the optimiser sees the
+    die it actually runs on.  (Imports are local to keep
+    ``repro.errors`` free of a package-level dependency on
+    ``repro.core``, which itself imports this package.)
+    """
+    from repro.core.model import ThreadParams
+    from repro.core.problem import SynTSProblem
+
+    if len(factors) != problem.n_threads:
+        raise ValueError(
+            f"need {problem.n_threads} speed factors, got {len(factors)}"
+        )
+    threads = tuple(
+        ThreadParams(
+            n_instructions=t.n_instructions,
+            cpi_base=t.cpi_base,
+            err=ScaledErrorFunction(base=t.err, speed_factor=float(k)),
+        )
+        for t, k in zip(problem.threads, factors)
+    )
+    return SynTSProblem(config=problem.config, threads=threads)

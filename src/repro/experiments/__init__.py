@@ -1,0 +1,48 @@
+"""Experiment drivers: one module per published table/figure.
+
+Registry mapping experiment ids to their ``run`` callables; see
+DESIGN.md Section 4 for the full index.  Each module is also runnable
+as ``python -m repro.experiments.<module>``.
+"""
+
+from . import (
+    fig_1_2,
+    fig_3_5,
+    fig_3_6,
+    fig_4_7,
+    fig_5_10,
+    fig_6_17,
+    fig_6_18,
+    headline,
+    overhead_study,
+    pareto_figs,
+    table_5_1,
+)
+from .common import REPORTED_BENCHMARKS, STAGES, ExperimentResult
+
+#: experiment id -> zero-argument callable regenerating it
+EXPERIMENTS = {
+    "table_5_1": table_5_1.run,
+    "fig_1_2": fig_1_2.run,
+    "fig_3_5": fig_3_5.run,
+    "fig_3_6": fig_3_6.run,
+    "fig_4_7": fig_4_7.run,
+    "fig_5_10": fig_5_10.run,
+    "fig_6_11": lambda: pareto_figs.run_figure("fig_6_11"),
+    "fig_6_12": lambda: pareto_figs.run_figure("fig_6_12"),
+    "fig_6_13": lambda: pareto_figs.run_figure("fig_6_13"),
+    "fig_6_14": lambda: pareto_figs.run_figure("fig_6_14"),
+    "fig_6_15": lambda: pareto_figs.run_figure("fig_6_15"),
+    "fig_6_16": lambda: pareto_figs.run_figure("fig_6_16"),
+    "fig_6_17": fig_6_17.run,
+    "fig_6_18": fig_6_18.run,
+    "sec_6_3": overhead_study.run,
+    "headline": headline.run,
+}
+
+__all__ = [
+    "EXPERIMENTS",
+    "ExperimentResult",
+    "REPORTED_BENCHMARKS",
+    "STAGES",
+]

@@ -1,0 +1,71 @@
+"""Shared experiment infrastructure.
+
+Every table/figure of the paper's evaluation has a driver module with
+a ``run(...) -> ExperimentResult``.  The result carries the same rows
+or series the paper reports plus paper-vs-measured notes, and renders
+to plain text (tables + ASCII plots).  ``benchmarks/bench_*.py``
+regenerates each one under pytest-benchmark.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.analysis.plots import ascii_bars, ascii_scatter
+from repro.analysis.report import Series, format_kv, format_table
+
+__all__ = ["ExperimentResult", "REPORTED_BENCHMARKS", "STAGES"]
+
+#: The seven SPLASH-2 benchmarks the paper reports (Section 5.4).
+REPORTED_BENCHMARKS: Tuple[str, ...] = (
+    "barnes",
+    "cholesky",
+    "fmm",
+    "lu_contig",
+    "lu_ncontig",
+    "radix",
+    "raytrace",
+)
+
+#: The three analysed pipe stages.
+STAGES: Tuple[str, ...] = ("decode", "simple_alu", "complex_alu")
+
+
+@dataclass
+class ExperimentResult:
+    """Uniform container for a regenerated table/figure.
+
+    Attributes
+    ----------
+    experiment_id:
+        Paper reference, e.g. ``"table_5_1"`` or ``"fig_6_18"``.
+    title:
+        The caption-level description.
+    headers / rows:
+        Tabular payload (may be empty for pure-series figures).
+    series:
+        Curve payload (may be empty for pure tables).
+    notes:
+        Paper-vs-measured key facts, rendered as a key/value block.
+    plot:
+        When true, ``render`` appends an ASCII scatter of the series.
+    """
+
+    experiment_id: str
+    title: str
+    headers: Sequence[str] = field(default_factory=list)
+    rows: Sequence[Sequence[object]] = field(default_factory=list)
+    series: Sequence[Series] = field(default_factory=list)
+    notes: Dict[str, object] = field(default_factory=dict)
+    plot: bool = True
+
+    def render(self) -> str:
+        parts: List[str] = [f"== {self.experiment_id}: {self.title} =="]
+        if self.rows:
+            parts.append(format_table(self.headers, self.rows))
+        if self.series and self.plot:
+            parts.append(ascii_scatter(list(self.series)))
+        if self.notes:
+            parts.append(format_kv(self.notes))
+        return "\n\n".join(parts)

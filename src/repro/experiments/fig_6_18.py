@@ -1,0 +1,129 @@
+"""Fig. 6.18 -- Normalised EDP of the seven SPLASH-2 benchmarks.
+
+For each pipe stage: EDP of SynTS (online), No-TS and Nominal,
+normalised to SynTS (offline), at the equal-weight theta.  Reproduces
+the figure's two observations:
+
+1. the online overhead versus offline SynTS is modest (~10.3 % EDP on
+   average across the 21 benchmark x stage points);
+2. online SynTS still beats No-TS and Nominal everywhere, and beats
+   per-core TS by up to ~25 % EDP.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+from repro.core.baselines import solve_no_ts, solve_nominal, solve_per_core_ts
+from repro.core.online import OnlineKnobs
+from repro.core.poly import solve_synts_poly
+from repro.core.runner import (
+    interval_problems,
+    run_offline_benchmark,
+    run_online_benchmark,
+)
+from repro.workloads import build_benchmark
+
+from .common import REPORTED_BENCHMARKS, STAGES, ExperimentResult
+
+__all__ = ["StagePanel", "run", "run_stage"]
+
+#: Paper's sampling budget: 50K instructions, 10K for short-interval FMM.
+def _knobs_for(benchmark: str) -> OnlineKnobs:
+    return OnlineKnobs(n_samp=10_000 if benchmark == "fmm" else 50_000)
+
+
+@dataclass(frozen=True)
+class StagePanel:
+    """One sub-figure (a/b/c): normalised EDP rows for a stage."""
+
+    stage: str
+    benchmarks: Tuple[str, ...]
+    synts_online: Tuple[float, ...]
+    no_ts: Tuple[float, ...]
+    nominal: Tuple[float, ...]
+    per_core_ts: Tuple[float, ...]
+
+    @property
+    def mean_online_overhead(self) -> float:
+        return float(np.mean(self.synts_online)) - 1.0
+
+    @property
+    def max_gain_vs_per_core(self) -> float:
+        """Best online-SynTS EDP reduction against per-core TS."""
+        return float(
+            np.max(1.0 - np.asarray(self.synts_online) / np.asarray(self.per_core_ts))
+        )
+
+
+def run_stage(stage: str, seed: int = 7) -> StagePanel:
+    rng = np.random.default_rng(seed)
+    online, no_ts, nominal, per_core = [], [], [], []
+    for name in REPORTED_BENCHMARKS:
+        bm = build_benchmark(name)
+        theta = interval_problems(bm, stage)[0].equal_weight_theta()
+        offline = run_offline_benchmark(bm, stage, theta, solve_synts_poly)
+        ref = offline.edp
+        online.append(
+            run_online_benchmark(bm, stage, theta, rng, _knobs_for(name)).edp / ref
+        )
+        no_ts.append(
+            run_offline_benchmark(bm, stage, theta, solve_no_ts, "no_ts").edp / ref
+        )
+        nominal.append(
+            run_offline_benchmark(bm, stage, theta, solve_nominal, "nominal").edp
+            / ref
+        )
+        per_core.append(
+            run_offline_benchmark(
+                bm, stage, theta, solve_per_core_ts, "per_core_ts"
+            ).edp
+            / ref
+        )
+    return StagePanel(
+        stage=stage,
+        benchmarks=REPORTED_BENCHMARKS,
+        synts_online=tuple(online),
+        no_ts=tuple(no_ts),
+        nominal=tuple(nominal),
+        per_core_ts=tuple(per_core),
+    )
+
+
+def run(seed: int = 7) -> ExperimentResult:
+    panels = [run_stage(stage, seed) for stage in STAGES]
+    rows: List[Tuple] = []
+    for panel in panels:
+        for i, name in enumerate(panel.benchmarks):
+            rows.append(
+                (
+                    panel.stage,
+                    name,
+                    round(panel.synts_online[i], 3),
+                    round(panel.no_ts[i], 3),
+                    round(panel.nominal[i], 3),
+                )
+            )
+    all_online = [v for p in panels for v in p.synts_online]
+    mean_overhead = float(np.mean(all_online)) - 1.0
+    max_gain = max(p.max_gain_vs_per_core for p in panels)
+    return ExperimentResult(
+        experiment_id="fig_6_18",
+        title="EDP normalised to SynTS (offline), seven SPLASH-2 "
+        "benchmarks x three pipe stages",
+        headers=["stage", "benchmark", "SynTS(online)", "No TS", "Nominal"],
+        rows=rows,
+        notes={
+            "mean online overhead": f"{mean_overhead * 100:.1f}% (paper 10.3%)",
+            "max online gain vs per-core TS": f"{max_gain * 100:.1f}% (paper up to 25%)",
+            "theta": "energy and execution time weighted equally",
+        },
+        plot=False,
+    )
+
+
+if __name__ == "__main__":
+    print(run().render())

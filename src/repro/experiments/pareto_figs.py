@@ -1,0 +1,158 @@
+"""Figs. 6.11-6.16 -- Offline energy-vs-execution-time Pareto curves.
+
+For each published (benchmark, stage) pair, sweeps the weight theta
+for SynTS, Per-core TS and No-TS, normalises to the Nominal baseline
+and extracts the figures' callout metrics:
+
+* *energy gap*: how much less energy SynTS needs than Per-core TS at
+  matched execution time (max over the per-core front);
+* *speed gap*: how much faster SynTS is than Per-core TS at matched
+  energy (max over the per-core front).
+
+The published callouts (21 % / 18 % for FMM-SimpleALU, 27.6 % / 20 %
+for Cholesky-Decode, ...) are the same two quantities read off the
+plots.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.analysis.report import Series
+from repro.core.baselines import solve_no_ts, solve_per_core_ts
+from repro.core.pareto import TradeoffPoint, pareto_front, sweep_theta
+from repro.core.poly import solve_synts_poly
+from repro.workloads import build_benchmark
+
+from .common import ExperimentResult
+
+__all__ = ["PARETO_FIGURES", "run", "run_figure", "callout_gaps"]
+
+#: figure id -> (benchmark, stage, paper's callout: energy%, speed%)
+PARETO_FIGURES: Dict[str, Tuple[str, str, Optional[float], Optional[float]]] = {
+    "fig_6_11": ("fmm", "simple_alu", 21.0, 18.0),
+    "fig_6_12": ("cholesky", "simple_alu", 6.0, 10.3),
+    "fig_6_13": ("cholesky", "decode", 27.6, 20.0),
+    "fig_6_14": ("raytrace", "decode", 25.1, 21.0),
+    "fig_6_15": ("cholesky", "complex_alu", None, None),
+    "fig_6_16": ("raytrace", "complex_alu", None, None),
+}
+
+
+def _interp_front(
+    front: Sequence[TradeoffPoint], x: float, by: str
+) -> Optional[float]:
+    """Interpolate a Pareto front: energy at a given time (``by =
+    'time'``) or time at a given energy (``by = 'energy'``)."""
+    if by == "time":
+        xs = [p.time for p in front]
+        ys = [p.energy for p in front]
+    else:
+        xs = [p.energy for p in front]
+        ys = [p.time for p in front]
+        order = np.argsort(xs)
+        xs = [xs[i] for i in order]
+        ys = [ys[i] for i in order]
+    if not xs or x < xs[0] - 1e-9 or x > xs[-1] + 1e-9:
+        return None
+    return float(np.interp(x, xs, ys))
+
+
+def callout_gaps(
+    syn_points: Sequence[TradeoffPoint],
+    pc_points: Sequence[TradeoffPoint],
+) -> Tuple[Optional[float], Optional[float]]:
+    """(energy gap %, speed gap %) of SynTS against Per-core TS.
+
+    Returns ``None`` for a gap when the fronts do not overlap on that
+    axis (the paper's "direct comparison cannot be drawn" situation
+    of Figs. 6.15-6.16).
+    """
+    syn = pareto_front(syn_points)
+    pc = pareto_front(pc_points)
+    energy_gaps = []
+    speed_gaps = []
+    for q in pc:
+        e_syn = _interp_front(syn, q.time, by="time")
+        if e_syn is not None and q.energy > 0:
+            energy_gaps.append(1.0 - e_syn / q.energy)
+        t_syn = _interp_front(syn, q.energy, by="energy")
+        if t_syn is not None and q.time > 0:
+            speed_gaps.append(1.0 - t_syn / q.time)
+    energy = max(energy_gaps) * 100 if energy_gaps else None
+    speed = max(speed_gaps) * 100 if speed_gaps else None
+    return energy, speed
+
+
+def run_figure(
+    figure_id: str, n_thetas: int = 21, decades: float = 2.0
+) -> ExperimentResult:
+    """Regenerate one of Figs. 6.11-6.16."""
+    if figure_id not in PARETO_FIGURES:
+        raise KeyError(
+            f"unknown figure {figure_id!r}; have {sorted(PARETO_FIGURES)}"
+        )
+    benchmark, stage, paper_energy, paper_speed = PARETO_FIGURES[figure_id]
+    bm = build_benchmark(benchmark)
+    from repro.core.pareto import theta_grid
+    from repro.core.runner import interval_problems
+
+    thetas = theta_grid(interval_problems(bm, stage), n_thetas, decades)
+    sweeps = {
+        "SynTS": sweep_theta(bm, stage, solve_synts_poly, thetas),
+        "Per-core TS": sweep_theta(
+            bm, stage, solve_per_core_ts, thetas, scheme="per_core_ts"
+        ),
+        "No TS": sweep_theta(bm, stage, solve_no_ts, thetas, scheme="no_ts"),
+    }
+    series = [
+        Series(name, tuple(p.time for p in pts), tuple(p.energy for p in pts))
+        for name, pts in sweeps.items()
+    ]
+    energy_gap, speed_gap = callout_gaps(sweeps["SynTS"], sweeps["Per-core TS"])
+
+    front = pareto_front(sweeps["SynTS"])
+    rows = [
+        (round(p.time, 3), round(p.energy, 3), f"{p.theta:.3g}") for p in front
+    ]
+    notes: Dict[str, object] = {
+        "benchmark / stage": f"{benchmark} / {stage}",
+        "energy gap vs Per-core TS": (
+            f"{energy_gap:.1f}%" if energy_gap is not None else "fronts do not overlap"
+        ),
+        "speed gap vs Per-core TS": (
+            f"{speed_gap:.1f}%" if speed_gap is not None else "fronts do not overlap"
+        ),
+    }
+    if paper_energy is not None:
+        notes["paper energy callout"] = f"{paper_energy}%"
+        notes["paper speed callout"] = f"{paper_speed}%"
+    else:
+        notes["paper"] = (
+            "no callout: Per-core TS / No TS do not converge close to SynTS"
+        )
+    return ExperimentResult(
+        experiment_id=figure_id,
+        title=f"Energy vs. execution time, {benchmark} ({stage}), "
+        "normalised to Nominal",
+        headers=["time (norm.)", "energy (norm.)", "theta"],
+        rows=rows,
+        series=series,
+        notes=notes,
+    )
+
+
+def run(n_thetas: int = 21) -> Dict[str, ExperimentResult]:
+    """Regenerate all six Pareto figures."""
+    return {
+        fig: run_figure(fig, n_thetas=n_thetas) for fig in PARETO_FIGURES
+    }
+
+
+if __name__ == "__main__":
+    for result in run().values():
+        print(result.render())
+        print()

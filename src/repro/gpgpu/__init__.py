@@ -1,0 +1,30 @@
+"""GPGPU case study: Radeon HD 7970 SIMD model, kernel workloads and
+the Hamming-distance homogeneity analysis (paper Sections 3.2/5.5)."""
+
+from .characterize import LaneErrorCurves, characterize_lane_errors
+from .hamming import (
+    VALUAnalysis,
+    analyze_valus,
+    hamming_histogram,
+    successive_hamming,
+    total_variation,
+)
+from .kernels import GPGPU_KERNELS, Kernel, get_kernel
+from .radeon import HD7970, GPUConfig, SIMDUnit, VALUTrace
+
+__all__ = [
+    "GPUConfig",
+    "HD7970",
+    "SIMDUnit",
+    "VALUTrace",
+    "Kernel",
+    "GPGPU_KERNELS",
+    "get_kernel",
+    "successive_hamming",
+    "hamming_histogram",
+    "total_variation",
+    "VALUAnalysis",
+    "analyze_valus",
+    "LaneErrorCurves",
+    "characterize_lane_errors",
+]

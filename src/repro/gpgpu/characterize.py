@@ -1,0 +1,102 @@
+"""From Hamming homogeneity to error-probability homogeneity.
+
+The paper infers error-probability homogeneity across VALUs from their
+output Hamming statistics ("similar hamming distance means ... trends
+in the path sensitization delays are also similar").  This module
+closes that inference mechanically: it drives the synthesised
+ComplexALU netlist (the closest CMP stand-in for a VALU's multiply
+datapath) with each lane's actual operand stream and extracts per-lane
+*empirical error-probability curves* from the sensitised delays.
+
+Homogeneous lanes must produce near-identical curves -- asserted in
+the test suite and shown by ``examples/gpgpu_case_study.py``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+from repro.circuit.sensitize import characterize_stage
+from repro.circuit.synth import get_stage
+from repro.errors.probability import EmpiricalErrorFunction
+
+from .kernels import Kernel, get_kernel
+
+__all__ = ["LaneErrorCurves", "characterize_lane_errors"]
+
+
+@dataclass(frozen=True)
+class LaneErrorCurves:
+    """Per-lane empirical error curves on the VALU datapath."""
+
+    kernel: str
+    error_functions: Tuple[EmpiricalErrorFunction, ...]
+    ratios: Tuple[float, ...]
+    curves: np.ndarray  # (lanes, len(ratios))
+
+    @property
+    def n_lanes(self) -> int:
+        return len(self.error_functions)
+
+    def max_spread(self, min_mass: float = 5e-3) -> float:
+        """Worst max/min ratio of per-lane error across the sampled
+        TSRs, considering only ratios where every lane's tail carries
+        enough sample mass to be meaningful (short empirical tails are
+        counting noise).  Returns 1.0 when no ratio qualifies."""
+        spread = 1.0
+        for col in self.curves.T:
+            if col.min() >= min_mass:
+                spread = max(spread, float(col.max() / col.min()))
+        return spread
+
+
+def characterize_lane_errors(
+    kernel: Kernel | str,
+    n_lanes: int = 4,
+    n_instructions: int = 4000,
+    seed: int = 0,
+    ratios: Sequence[float] = (0.45, 0.5, 0.6, 0.7),
+) -> LaneErrorCurves:
+    """Derive per-lane error curves through the circuit substrate.
+
+    Each lane's kernel outputs feed the ComplexALU as successive
+    operand pairs (the values a VALU would route through its multiply
+    datapath); sensitised delays -> empirical err(r) per lane.
+    Lanes beyond a few are statistically redundant (homogeneity), so
+    ``n_lanes`` defaults to 4 to keep runtime modest.
+    """
+    k = get_kernel(kernel) if isinstance(kernel, str) else kernel
+    stage = get_stage("complex_alu")
+    item_ids = np.arange(n_lanes * 16)
+    outputs = k.trace(item_ids, n_instructions, seed)
+
+    funcs: List[EmpiricalErrorFunction] = []
+    rows = []
+    for lane in range(n_lanes):
+        # each lane owns a block of 16 work-items; its datapath stream
+        # is the concatenation of their outputs
+        stream = outputs[lane * 16 : (lane + 1) * 16].reshape(-1)
+        stream = stream[: n_instructions]
+        a_vals = stream & 0xFFFF
+        b_vals = (stream >> 16) & 0xFFFF
+        profile = characterize_stage(
+            stage,
+            {
+                "a_vals": a_vals,
+                "b_vals": b_vals,
+                "sh_vals": np.zeros_like(a_vals),
+                "op_vals": np.zeros_like(a_vals),
+            },
+        )
+        fn = EmpiricalErrorFunction(profile.normalized_delays)
+        funcs.append(fn)
+        rows.append([float(fn(r)) for r in ratios])
+    return LaneErrorCurves(
+        kernel=k.name,
+        error_functions=tuple(funcs),
+        ratios=tuple(float(r) for r in ratios),
+        curves=np.asarray(rows),
+    )

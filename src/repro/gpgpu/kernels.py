@@ -1,0 +1,221 @@
+"""GPGPU kernel workloads (paper Section 5.5).
+
+The paper characterises BlackScholes, EigenValue, MatrixMult, FFT,
+BinarySearch, Raytrace, StreamCluster, Swaptions and X264 on the
+Radeon HD 7970.  Each kernel here is an integer/fixed-point
+re-implementation of the hot inner loop, producing the cycle-by-cycle
+32-bit values a vector ALU lane would compute.  Work-items differ in
+their data but are statistically identical -- the property that makes
+per-VALU output statistics (and hence error probabilities)
+homogeneous, which is the paper's GPGPU finding.
+
+All arithmetic is unsigned 32-bit with Q16.16 fixed point where
+fractions are needed; every kernel is deterministic given (work-item
+id, seed).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, Tuple
+
+import numpy as np
+
+__all__ = ["Kernel", "GPGPU_KERNELS", "get_kernel"]
+
+_U32 = np.uint32
+_MASK = np.uint64(0xFFFFFFFF)
+
+
+def _rng_for(item_ids: np.ndarray, seed: int) -> np.random.Generator:
+    return np.random.default_rng(np.random.SeedSequence([seed, 77]))
+
+
+def _fx(x: np.ndarray) -> np.ndarray:
+    """Clamp int64 fixed-point intermediates to u32 lanes."""
+    return (x.astype(np.int64) & 0xFFFFFFFF).astype(_U32)
+
+
+@dataclass(frozen=True)
+class Kernel:
+    """A named kernel: maps work-items to per-instruction outputs.
+
+    ``trace(item_ids, n_instr, seed)`` returns a ``(len(item_ids),
+    n_instr)`` uint32 array: the stream of VALU results each work-item
+    produces.
+    """
+
+    name: str
+    trace: Callable[[np.ndarray, int, int], np.ndarray]
+
+
+def _black_scholes(item_ids: np.ndarray, n_instr: int, seed: int) -> np.ndarray:
+    rng = _rng_for(item_ids, seed)
+    n = len(item_ids)
+    # Q16.16 market parameters per work-item (option chains)
+    s0 = rng.integers(40 << 16, 160 << 16, size=n, dtype=np.int64)
+    k = rng.integers(40 << 16, 160 << 16, size=n, dtype=np.int64)
+    sigma = rng.integers(1 << 13, 1 << 15, size=n, dtype=np.int64)
+    out = np.empty((n, n_instr), dtype=_U32)
+    acc = s0.copy()
+    for t in range(n_instr):
+        # alternating polynomial-approximation steps of N(d1)
+        if t % 3 == 0:
+            acc = (acc * sigma) >> 16
+        elif t % 3 == 1:
+            acc = acc + k - ((acc * acc) >> 18)
+        else:
+            acc = (acc >> 1) + (s0 >> 2) + t
+        out[:, t] = _fx(acc)
+    return out
+
+
+def _matrix_mult(item_ids: np.ndarray, n_instr: int, seed: int) -> np.ndarray:
+    rng = _rng_for(item_ids, seed)
+    n = len(item_ids)
+    a = rng.integers(0, 1 << 12, size=(n, n_instr), dtype=np.int64)
+    b = rng.integers(0, 1 << 12, size=(n, n_instr), dtype=np.int64)
+    out = np.empty((n, n_instr), dtype=_U32)
+    acc = np.zeros(n, dtype=np.int64)
+    for t in range(n_instr):
+        acc = acc + a[:, t] * b[:, t]  # multiply-accumulate row * col
+        out[:, t] = _fx(acc)
+    return out
+
+
+def _binary_search(item_ids: np.ndarray, n_instr: int, seed: int) -> np.ndarray:
+    rng = _rng_for(item_ids, seed)
+    n = len(item_ids)
+    lo = np.zeros(n, dtype=np.int64)
+    hi = np.full(n, 1 << 20, dtype=np.int64)
+    key = rng.integers(0, 1 << 20, size=n, dtype=np.int64)
+    out = np.empty((n, n_instr), dtype=_U32)
+    for t in range(n_instr):
+        mid = (lo + hi) >> 1
+        probe = (mid * 2654435761) & 0xFFFFF  # hashed "array value"
+        go_right = probe < key
+        lo = np.where(go_right, mid + 1, lo)
+        hi = np.where(go_right, hi, mid)
+        exhausted = lo >= hi
+        lo = np.where(exhausted, 0, lo)
+        hi = np.where(exhausted, 1 << 20, hi)
+        out[:, t] = _fx(mid)
+    return out
+
+
+def _fft(item_ids: np.ndarray, n_instr: int, seed: int) -> np.ndarray:
+    rng = _rng_for(item_ids, seed)
+    n = len(item_ids)
+    re = rng.integers(-1 << 15, 1 << 15, size=n, dtype=np.int64)
+    im = rng.integers(-1 << 15, 1 << 15, size=n, dtype=np.int64)
+    out = np.empty((n, n_instr), dtype=_U32)
+    for t in range(n_instr):
+        # Q16.16 butterfly with a rotating twiddle
+        tw_re = int((1 << 16) * np.cos(2 * np.pi * (t % 64) / 64))
+        tw_im = int((1 << 16) * np.sin(2 * np.pi * (t % 64) / 64))
+        new_re = (re * tw_re - im * tw_im) >> 16
+        new_im = (re * tw_im + im * tw_re) >> 16
+        re, im = new_re + (t & 7), new_im
+        out[:, t] = _fx(re if t % 2 == 0 else im)
+    return out
+
+
+def _eigen_value(item_ids: np.ndarray, n_instr: int, seed: int) -> np.ndarray:
+    rng = _rng_for(item_ids, seed)
+    n = len(item_ids)
+    v = rng.integers(1, 1 << 16, size=n, dtype=np.int64)
+    d = rng.integers(1 << 13, 1 << 14, size=n, dtype=np.int64)
+    e = rng.integers(1, 1 << 13, size=n, dtype=np.int64)
+    out = np.empty((n, n_instr), dtype=_U32)
+    for t in range(n_instr):
+        # tridiagonal Gerschgorin / bisection style updates; the mask
+        # keeps the recurrence stationary (contraction + bounded range)
+        v = (((d * v) >> 15) + e + (t << 4)) & 0xFFFFF
+        out[:, t] = _fx(v)
+    return out
+
+
+def _raytrace(item_ids: np.ndarray, n_instr: int, seed: int) -> np.ndarray:
+    rng = _rng_for(item_ids, seed)
+    n = len(item_ids)
+    ox = rng.integers(-1 << 14, 1 << 14, size=n, dtype=np.int64)
+    dx = rng.integers(1, 1 << 12, size=n, dtype=np.int64)
+    out = np.empty((n, n_instr), dtype=_U32)
+    for t in range(n_instr):
+        # ray-sphere: b = o.d ; disc = b^2 - (o.o - r^2), per component.
+        # The origin advances along the ray but wraps within the scene
+        # bounds, keeping the stream stationary across work-items.
+        b = (ox * dx) >> 10
+        disc = (b * b - ox * ox + (t << 8)) >> 8
+        ox = ((ox + (dx >> 2) + (1 << 14)) & 0x7FFF) - (1 << 14)
+        out[:, t] = _fx(disc if t % 2 == 0 else b)
+    return out
+
+
+def _stream_cluster(item_ids: np.ndarray, n_instr: int, seed: int) -> np.ndarray:
+    rng = _rng_for(item_ids, seed)
+    n = len(item_ids)
+    px = rng.integers(0, 1 << 12, size=n, dtype=np.int64)
+    cx = rng.integers(0, 1 << 12, size=n, dtype=np.int64)
+    out = np.empty((n, n_instr), dtype=_U32)
+    acc = np.zeros(n, dtype=np.int64)
+    for t in range(n_instr):
+        diff = px - cx
+        acc = acc + diff * diff  # squared-distance accumulation
+        cx = (cx + (px >> 4) + t) & 0xFFF
+        out[:, t] = _fx(acc)
+    return out
+
+
+def _swaptions(item_ids: np.ndarray, n_instr: int, seed: int) -> np.ndarray:
+    rng = _rng_for(item_ids, seed)
+    n = len(item_ids)
+    rate = rng.integers(1 << 10, 1 << 13, size=n, dtype=np.int64)
+    pv = np.full(n, 1 << 16, dtype=np.int64)
+    out = np.empty((n, n_instr), dtype=_U32)
+    for t in range(n_instr):
+        # HJM-path style discounting in Q16.16
+        pv = (pv * ((1 << 16) - rate)) >> 16
+        rate = rate + ((pv >> 12) ^ t) - (rate >> 5)
+        out[:, t] = _fx(pv)
+    return out
+
+
+def _x264(item_ids: np.ndarray, n_instr: int, seed: int) -> np.ndarray:
+    rng = _rng_for(item_ids, seed)
+    n = len(item_ids)
+    cur = rng.integers(0, 256, size=(n, n_instr), dtype=np.int64)
+    ref = rng.integers(0, 256, size=(n, n_instr), dtype=np.int64)
+    out = np.empty((n, n_instr), dtype=_U32)
+    sad = np.zeros(n, dtype=np.int64)
+    for t in range(n_instr):
+        sad = sad + np.abs(cur[:, t] - ref[:, t])  # SAD accumulation
+        if t % 16 == 15:
+            sad = np.zeros(n, dtype=np.int64)  # next macroblock
+        out[:, t] = _fx(sad)
+    return out
+
+
+GPGPU_KERNELS: Dict[str, Kernel] = {
+    k.name: k
+    for k in (
+        Kernel("black_scholes", _black_scholes),
+        Kernel("matrix_mult", _matrix_mult),
+        Kernel("binary_search", _binary_search),
+        Kernel("fft", _fft),
+        Kernel("eigen_value", _eigen_value),
+        Kernel("raytrace", _raytrace),
+        Kernel("stream_cluster", _stream_cluster),
+        Kernel("swaptions", _swaptions),
+        Kernel("x264", _x264),
+    )
+}
+
+
+def get_kernel(name: str) -> Kernel:
+    try:
+        return GPGPU_KERNELS[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown kernel {name!r}; available: {sorted(GPGPU_KERNELS)}"
+        ) from None

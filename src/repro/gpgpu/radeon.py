@@ -1,0 +1,118 @@
+"""Radeon HD 7970 execution model (paper Fig. 5.9).
+
+The HD 7970 (GCN) has 32 compute units; each compute unit contains
+4 SIMD units of 16 vector-ALU lanes.  Wavefronts of 64 work-items
+execute on a SIMD unit over 4 cycles, one quarter-wavefront per cycle,
+all 16 lanes in lockstep.
+
+The paper studies the 16 VALUs inside one SIMD unit: work-items are
+distributed round-robin over lanes, so lane ``l`` executes work-items
+``l, l+16, l+32, ...`` of each wavefront group.  This module
+reproduces that distribution and collects per-VALU output streams for
+the Hamming-distance analysis (Fig. 5.10).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+from .kernels import Kernel, get_kernel
+
+__all__ = ["GPUConfig", "HD7970", "SIMDUnit", "VALUTrace"]
+
+
+@dataclass(frozen=True)
+class GPUConfig:
+    """Geometry of the modelled GPU (defaults: Radeon HD 7970)."""
+
+    n_compute_units: int = 32
+    simd_per_cu: int = 4
+    lanes_per_simd: int = 16
+    wavefront_size: int = 64
+
+    def __post_init__(self):
+        if self.wavefront_size % self.lanes_per_simd != 0:
+            raise ValueError(
+                "wavefront size must be a multiple of the lane count"
+            )
+
+
+@dataclass(frozen=True)
+class VALUTrace:
+    """Output stream of one vector ALU lane."""
+
+    lane: int
+    outputs: np.ndarray  # uint32, shape (n_outputs,)
+
+    @property
+    def n_outputs(self) -> int:
+        return int(len(self.outputs))
+
+
+class SIMDUnit:
+    """One 16-lane SIMD unit executing a kernel in lockstep."""
+
+    def __init__(self, config: GPUConfig | None = None):
+        self.config = config or GPUConfig()
+
+    def execute(
+        self,
+        kernel: Kernel | str,
+        n_work_items: int,
+        instructions_per_item: int,
+        seed: int = 0,
+    ) -> List[VALUTrace]:
+        """Run ``n_work_items`` through the SIMD unit.
+
+        Work-items are assigned to lanes round-robin (the hardware's
+        quarter-wavefront interleave); each lane's output stream is
+        the concatenation of its work-items' per-instruction results.
+        """
+        k = get_kernel(kernel) if isinstance(kernel, str) else kernel
+        lanes = self.config.lanes_per_simd
+        if n_work_items % lanes != 0:
+            raise ValueError(
+                f"work-item count {n_work_items} must be a multiple of "
+                f"the {lanes} lanes"
+            )
+        item_ids = np.arange(n_work_items)
+        all_outputs = k.trace(item_ids, instructions_per_item, seed)
+
+        traces: List[VALUTrace] = []
+        for lane in range(lanes):
+            mine = all_outputs[lane::lanes, :]  # (items/lanes, instr)
+            traces.append(
+                VALUTrace(lane=lane, outputs=mine.reshape(-1).astype(np.uint32))
+            )
+        return traces
+
+
+class HD7970:
+    """Top-level device model: dispatch a kernel to one SIMD unit.
+
+    Only one SIMD unit is characterised (as in the paper -- the other
+    units are identical by construction); the device object mainly
+    carries the published geometry so examples/tests can assert it.
+    """
+
+    def __init__(self):
+        self.config = GPUConfig()
+
+    @property
+    def total_lanes(self) -> int:
+        c = self.config
+        return c.n_compute_units * c.simd_per_cu * c.lanes_per_simd
+
+    def characterize_simd(
+        self,
+        kernel: Kernel | str,
+        n_work_items: int = 1024,
+        instructions_per_item: int = 64,
+        seed: int = 0,
+    ) -> List[VALUTrace]:
+        return SIMDUnit(self.config).execute(
+            kernel, n_work_items, instructions_per_item, seed
+        )

@@ -1,0 +1,13 @@
+"""Generic branch-and-bound MILP solver over scipy LP relaxations."""
+
+from .branch_bound import BranchAndBoundError, solve_milp
+from .problem import MILP, MILPResult, MILPStatus, Sense
+
+__all__ = [
+    "MILP",
+    "MILPResult",
+    "MILPStatus",
+    "Sense",
+    "solve_milp",
+    "BranchAndBoundError",
+]

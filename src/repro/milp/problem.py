@@ -1,0 +1,172 @@
+"""Mixed-integer linear program model.
+
+A thin, explicit MILP builder: continuous or integer variables with
+bounds, linear constraints, a linear objective (minimisation).  The
+paper feeds SynTS-MILP (Eqs. 4.5-4.10) "to a standard MILP solver";
+our solver is the branch-and-bound engine in
+:mod:`repro.milp.branch_bound` over scipy's HiGHS LP relaxations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+__all__ = ["Sense", "MILP", "MILPStatus", "MILPResult"]
+
+
+class Sense(str, Enum):
+    LE = "<="
+    GE = ">="
+    EQ = "=="
+
+
+@dataclass
+class _Constraint:
+    coeffs: Dict[int, float]
+    sense: Sense
+    rhs: float
+
+
+class MILP:
+    """Builder for a minimisation MILP."""
+
+    def __init__(self, name: str = "milp"):
+        self.name = name
+        self._lb: List[float] = []
+        self._ub: List[Optional[float]] = []
+        self._integer: List[bool] = []
+        self._names: List[str] = []
+        self._constraints: List[_Constraint] = []
+        self._objective: Dict[int, float] = {}
+
+    # ------------------------------------------------------------------
+    def add_variable(
+        self,
+        name: str,
+        lb: float = 0.0,
+        ub: Optional[float] = None,
+        integer: bool = False,
+    ) -> int:
+        """Add a variable; returns its index."""
+        if ub is not None and ub < lb:
+            raise ValueError(f"variable {name!r}: ub < lb")
+        self._names.append(name)
+        self._lb.append(float(lb))
+        self._ub.append(None if ub is None else float(ub))
+        self._integer.append(bool(integer))
+        return len(self._names) - 1
+
+    def add_binary(self, name: str) -> int:
+        return self.add_variable(name, lb=0.0, ub=1.0, integer=True)
+
+    def add_constraint(
+        self, coeffs: Dict[int, float], sense: Sense | str, rhs: float
+    ) -> None:
+        sense = Sense(sense)
+        n = self.n_variables
+        for idx in coeffs:
+            if not (0 <= idx < n):
+                raise IndexError(f"constraint references unknown variable {idx}")
+        self._constraints.append(_Constraint(dict(coeffs), sense, float(rhs)))
+
+    def set_objective(self, coeffs: Dict[int, float]) -> None:
+        """Minimise ``sum coeffs[i] * x_i``."""
+        n = self.n_variables
+        for idx in coeffs:
+            if not (0 <= idx < n):
+                raise IndexError(f"objective references unknown variable {idx}")
+        self._objective = dict(coeffs)
+
+    # ------------------------------------------------------------------
+    @property
+    def n_variables(self) -> int:
+        return len(self._names)
+
+    @property
+    def n_constraints(self) -> int:
+        return len(self._constraints)
+
+    @property
+    def integer_indices(self) -> Tuple[int, ...]:
+        return tuple(i for i, f in enumerate(self._integer) if f)
+
+    def variable_name(self, idx: int) -> str:
+        return self._names[idx]
+
+    def bounds(self) -> List[Tuple[float, Optional[float]]]:
+        return list(zip(self._lb, self._ub))
+
+    def to_arrays(self):
+        """Matrices for ``scipy.optimize.linprog``:
+        ``(c, A_ub, b_ub, A_eq, b_eq)``; empty blocks are ``None``."""
+        n = self.n_variables
+        c = np.zeros(n)
+        for i, v in self._objective.items():
+            c[i] = v
+        ub_rows, ub_rhs, eq_rows, eq_rhs = [], [], [], []
+        for con in self._constraints:
+            row = np.zeros(n)
+            for i, v in con.coeffs.items():
+                row[i] = v
+            if con.sense is Sense.LE:
+                ub_rows.append(row)
+                ub_rhs.append(con.rhs)
+            elif con.sense is Sense.GE:
+                ub_rows.append(-row)
+                ub_rhs.append(-con.rhs)
+            else:
+                eq_rows.append(row)
+                eq_rhs.append(con.rhs)
+        a_ub = np.vstack(ub_rows) if ub_rows else None
+        b_ub = np.asarray(ub_rhs) if ub_rhs else None
+        a_eq = np.vstack(eq_rows) if eq_rows else None
+        b_eq = np.asarray(eq_rhs) if eq_rhs else None
+        return c, a_ub, b_ub, a_eq, b_eq
+
+    def check_feasible(self, x: Sequence[float], tol: float = 1e-6) -> bool:
+        """Verify a point against all constraints and bounds."""
+        x = np.asarray(x, dtype=float)
+        for i, (lb, ub) in enumerate(self.bounds()):
+            if x[i] < lb - tol:
+                return False
+            if ub is not None and x[i] > ub + tol:
+                return False
+        for con in self._constraints:
+            val = sum(v * x[i] for i, v in con.coeffs.items())
+            if con.sense is Sense.LE and val > con.rhs + tol:
+                return False
+            if con.sense is Sense.GE and val < con.rhs - tol:
+                return False
+            if con.sense is Sense.EQ and abs(val - con.rhs) > tol:
+                return False
+        for i in self.integer_indices:
+            if abs(x[i] - round(x[i])) > tol:
+                return False
+        return True
+
+    def objective_value(self, x: Sequence[float]) -> float:
+        return float(sum(v * x[i] for i, v in self._objective.items()))
+
+
+class MILPStatus(str, Enum):
+    OPTIMAL = "optimal"
+    INFEASIBLE = "infeasible"
+    NODE_LIMIT = "node_limit"
+
+
+@dataclass(frozen=True)
+class MILPResult:
+    """Solution of a MILP solve."""
+
+    status: MILPStatus
+    objective: float
+    x: np.ndarray
+    n_nodes: int
+
+    @property
+    def is_optimal(self) -> bool:
+        return self.status is MILPStatus.OPTIMAL

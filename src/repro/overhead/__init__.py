@@ -1,0 +1,27 @@
+"""SynTS hardware overhead study (paper Section 6.3)."""
+
+from .estimate import STAGE_CORE_FRACTION, OverheadReport, estimate_overhead
+from .hardware import (
+    ACTIVITY_FACTOR,
+    CLOCK_GATING_FACTOR,
+    MIN_TSR,
+    SequentialCosts,
+    StageInventory,
+    SynTSAdditions,
+    stage_inventory,
+    synts_additions_for,
+)
+
+__all__ = [
+    "SequentialCosts",
+    "StageInventory",
+    "SynTSAdditions",
+    "stage_inventory",
+    "synts_additions_for",
+    "ACTIVITY_FACTOR",
+    "CLOCK_GATING_FACTOR",
+    "MIN_TSR",
+    "STAGE_CORE_FRACTION",
+    "OverheadReport",
+    "estimate_overhead",
+]

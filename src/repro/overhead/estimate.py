@@ -1,0 +1,95 @@
+"""Core-level overhead estimate (paper Section 6.3).
+
+Rolls the SynTS additions up against the whole core.  The three
+synthesised stages stand for a documented fraction of core logic
+(:data:`STAGE_CORE_FRACTION`); the remainder of the core (fetch,
+issue, memory, writeback, register files, bypass) carries no SynTS
+hardware, so the core-level overhead is the stage-level overhead
+scaled by that fraction.
+
+Published reference points: ~3.41 % power and ~2.7 % area overhead
+relative to the core.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from .hardware import (
+    MIN_TSR,
+    SequentialCosts,
+    StageInventory,
+    SynTSAdditions,
+    stage_inventory,
+    synts_additions_for,
+)
+
+__all__ = ["STAGE_CORE_FRACTION", "OverheadReport", "estimate_overhead"]
+
+#: Fraction of total core logic represented by the three studied
+#: stages (Decode + SimpleALU + ComplexALU) in a single-issue
+#: Alpha-class core; the remaining ~75 % is fetch, issue, LSU,
+#: writeback, register files and bypass networks.
+STAGE_CORE_FRACTION = 0.25
+
+
+@dataclass(frozen=True)
+class OverheadReport:
+    """Area/power overhead of SynTS relative to the core.
+
+    All absolute numbers are in gate-library units; the percentages
+    are what Section 6.3 reports.
+    """
+
+    stage_inventories: Tuple[StageInventory, ...]
+    additions: SynTSAdditions
+    stages_area: float
+    stages_power: float
+    additions_area: float
+    additions_power: float
+    area_overhead: float  # fraction of core area
+    power_overhead: float  # fraction of core power
+
+    @property
+    def area_overhead_pct(self) -> float:
+        return 100.0 * self.area_overhead
+
+    @property
+    def power_overhead_pct(self) -> float:
+        return 100.0 * self.power_overhead
+
+
+def estimate_overhead(
+    r_min: float = MIN_TSR,
+    seq: SequentialCosts | None = None,
+    stage_core_fraction: float = STAGE_CORE_FRACTION,
+) -> OverheadReport:
+    """Estimate SynTS area/power overhead against the core.
+
+    The stage-level overhead (additions / stage totals) is scaled by
+    ``stage_core_fraction`` because only the studied stages carry
+    SynTS hardware while the core denominator includes everything.
+    """
+    if not (0.0 < stage_core_fraction <= 1.0):
+        raise ValueError("stage_core_fraction must be in (0, 1]")
+    costs = seq or SequentialCosts()
+    stages = [
+        stage_inventory(name, r_min)
+        for name in ("decode", "simple_alu", "complex_alu")
+    ]
+    additions = synts_additions_for(stages)
+    stages_area = sum(s.total_area(costs) for s in stages)
+    stages_power = sum(s.total_energy(costs) for s in stages)
+    add_area = additions.area(costs)
+    add_power = additions.energy(costs)
+    return OverheadReport(
+        stage_inventories=tuple(stages),
+        additions=additions,
+        stages_area=stages_area,
+        stages_power=stages_power,
+        additions_area=add_area,
+        additions_power=add_power,
+        area_overhead=stage_core_fraction * add_area / stages_area,
+        power_overhead=stage_core_fraction * add_power / stages_power,
+    )

@@ -1,0 +1,39 @@
+"""Workload substrate: SPLASH-2 benchmark profiles, operand trace
+generation and cross-layer characterisation (paper Sections 5.2-5.4)."""
+
+from .characterization import (
+    RADIX_LIKE_PROFILES,
+    ThreadCharacterization,
+    characterize_threads,
+)
+from .model import BarrierInterval, Benchmark, ThreadWorkload
+from .splash2 import (
+    EXCLUDED_BENCHMARKS,
+    HETEROGENEOUS_BENCHMARKS,
+    SPLASH2_PROFILES,
+    STAGE_SHAPES,
+    BenchmarkProfile,
+    StageErrorShape,
+    build_benchmark,
+    thread_error_function,
+)
+from .traces import OperandProfile, TraceGenerator
+
+__all__ = [
+    "ThreadWorkload",
+    "BarrierInterval",
+    "Benchmark",
+    "BenchmarkProfile",
+    "StageErrorShape",
+    "STAGE_SHAPES",
+    "SPLASH2_PROFILES",
+    "HETEROGENEOUS_BENCHMARKS",
+    "EXCLUDED_BENCHMARKS",
+    "build_benchmark",
+    "thread_error_function",
+    "OperandProfile",
+    "TraceGenerator",
+    "ThreadCharacterization",
+    "characterize_threads",
+    "RADIX_LIKE_PROFILES",
+]

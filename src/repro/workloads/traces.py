@@ -1,0 +1,137 @@
+"""Per-thread operand trace generation for circuit characterisation.
+
+The cross-layer path (paper Fig. 5.8) needs cycle-by-cycle input
+vectors per pipe stage.  Each thread gets an :class:`OperandProfile`
+describing its operand statistics -- effective bit-width, serial
+correlation (value locality) and opcode mix -- and this module turns
+the profile into the encoder arguments of the synthesised stages.
+
+The statistics are the mechanism behind thread heterogeneity: threads
+working on wide, rapidly changing operands (e.g. Radix's thread 0
+scattering keys) sensitise long carry/multiplier paths far more often
+than threads iterating over narrow, slowly varying data.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+import numpy as np
+
+__all__ = ["OperandProfile", "TraceGenerator"]
+
+
+@dataclass(frozen=True)
+class OperandProfile:
+    """Operand statistics of one thread.
+
+    Attributes
+    ----------
+    effective_bits:
+        Typical operand magnitude ~ ``2**effective_bits``; wide
+        operands exercise the upper carry chain.
+    locality:
+        Probability in ``[0, 1)`` that consecutive operands are small
+        perturbations of each other rather than fresh draws; high
+        locality means few toggling bits per cycle.
+    opcode_entropy:
+        In ``[0, 1]``: 0 keeps one opcode for long runs, 1 draws a
+        fresh opcode every instruction (decode-stage activity).
+    seed_salt:
+        Mixed into the RNG stream so threads are decorrelated.
+    """
+
+    effective_bits: float
+    locality: float
+    opcode_entropy: float
+    seed_salt: int = 0
+
+    def __post_init__(self):
+        if not (0.0 <= self.locality < 1.0):
+            raise ValueError("locality must be in [0, 1)")
+        if not (0.0 <= self.opcode_entropy <= 1.0):
+            raise ValueError("opcode_entropy must be in [0, 1]")
+        if self.effective_bits <= 0:
+            raise ValueError("effective_bits must be positive")
+
+
+class TraceGenerator:
+    """Deterministic operand-stream generator for one thread."""
+
+    def __init__(self, profile: OperandProfile, seed: int = 0):
+        self.profile = profile
+        self._rng = np.random.default_rng(
+            np.random.SeedSequence([seed, profile.seed_salt])
+        )
+
+    def _values(self, n: int, width: int) -> np.ndarray:
+        """Magnitude-limited value stream with serial correlation."""
+        p = self.profile
+        cap = min(width, max(1, int(round(p.effective_bits))))
+        fresh = self._rng.integers(0, 1 << cap, size=n, dtype=np.int64)
+        if p.locality <= 0.0:
+            return fresh
+        vals = np.empty(n, dtype=np.int64)
+        sticky = self._rng.random(n) < p.locality
+        delta = self._rng.integers(-3, 4, size=n)
+        vals[0] = fresh[0]
+        # Perturbations stay inside the thread's magnitude envelope: a
+        # wrap to full width would fabricate spurious wide operands
+        # (and with them full-width carry chains) for narrow threads.
+        mask = (1 << cap) - 1
+        for i in range(1, n):
+            if sticky[i]:
+                vals[i] = (vals[i - 1] + delta[i]) & mask
+            else:
+                vals[i] = fresh[i]
+        return vals
+
+    def _opcodes(self, n: int, n_codes: int) -> np.ndarray:
+        p = self.profile
+        fresh = self._rng.integers(0, n_codes, size=n)
+        if p.opcode_entropy >= 1.0:
+            return fresh
+        hold = self._rng.random(n) >= p.opcode_entropy
+        codes = fresh.copy()
+        for i in range(1, n):
+            if hold[i]:
+                codes[i] = codes[i - 1]
+        return codes
+
+    # ------------------------------------------------------------------
+    # per-stage encoder arguments
+    # ------------------------------------------------------------------
+    def simple_alu_operands(self, n: int, width: int = 32) -> Dict[str, np.ndarray]:
+        return {
+            "a_vals": self._values(n, width),
+            "b_vals": self._values(n, width),
+            "op_vals": self._opcodes(n, 4),
+        }
+
+    def complex_alu_operands(self, n: int, width: int = 16) -> Dict[str, np.ndarray]:
+        return {
+            "a_vals": self._values(n, width),
+            "b_vals": self._values(n, width),
+            "sh_vals": self._rng.integers(0, width, size=n),
+            "op_vals": self._opcodes(n, 2),
+        }
+
+    def decode_operands(self, n: int) -> Dict[str, np.ndarray]:
+        """32-bit instruction words with realistic field statistics."""
+        opcode = self._opcodes(n, 64).astype(np.uint64)
+        regs = self._values(n, 15).astype(np.uint64)  # rs/rt/rd packed draw
+        rs, rt, rd = regs & 31, (regs >> 5) & 31, (regs >> 10) & 31
+        imm = self._values(n, 16).astype(np.uint64)
+        words = (opcode << 26) | (rs << 21) | (rt << 16) | (rd << 11) | imm
+        return {"instruction_words": words}
+
+    def operands_for(self, stage_name: str, n: int) -> Dict[str, np.ndarray]:
+        """Dispatch on the registry stage name."""
+        if stage_name == "decode":
+            return self.decode_operands(n)
+        if stage_name.startswith("simple_alu"):
+            return self.simple_alu_operands(n)
+        if stage_name.startswith("complex_alu"):
+            return self.complex_alu_operands(n, width=16)
+        raise ValueError(f"unknown stage {stage_name!r}")

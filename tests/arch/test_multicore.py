@@ -1,0 +1,147 @@
+"""Tests for the barrier-synchronised multi-core simulator and the
+statistical validation of the analytic model (Eqs. 4.1-4.3)."""
+
+import numpy as np
+import pytest
+
+from repro.arch.multicore import MultiCoreSim
+from repro.arch.online_sim import simulate_online_interval
+from repro.core import (
+    OnlineKnobs,
+    interval_problems,
+    run_online_interval,
+    solve_synts_poly,
+)
+from repro.core.model import Assignment, OperatingPoint, PlatformConfig, ThreadParams
+from repro.errors.probability import BetaTailErrorFunction, ZeroErrorFunction
+from repro.workloads import build_benchmark
+
+
+def uniform_assignment(m, v=1.0, r=1.0):
+    return Assignment(points=tuple(OperatingPoint(v, r) for _ in range(m)))
+
+
+def make_threads(ns, cpi=1.3, err=None):
+    return [
+        ThreadParams(
+            n_instructions=n, cpi_base=cpi, err=err or ZeroErrorFunction()
+        )
+        for n in ns
+    ]
+
+
+class TestBarrierSemantics:
+    def test_texec_is_last_arrival(self):
+        sim = MultiCoreSim(seed=1)
+        threads = make_threads([1000, 3000, 2000, 1500])
+        stats = sim.run_interval(threads, uniform_assignment(4))
+        assert stats.texec == pytest.approx(max(stats.arrival_times))
+        assert stats.critical_thread == 1
+
+    def test_critical_thread_has_zero_wait(self):
+        sim = MultiCoreSim(seed=2)
+        threads = make_threads([1000, 3000])
+        stats = sim.run_interval(threads, uniform_assignment(2))
+        assert stats.wait_times[stats.critical_thread] == pytest.approx(0.0)
+        assert all(w >= 0 for w in stats.wait_times)
+
+    def test_idle_energy_default_zero(self):
+        sim = MultiCoreSim(seed=3)
+        threads = make_threads([500, 2000])
+        stats = sim.run_interval(threads, uniform_assignment(2))
+        assert stats.idle_energy == 0.0
+
+    def test_idle_power_charges_waits(self):
+        sim = MultiCoreSim(seed=3, idle_power=0.5)
+        threads = make_threads([500, 2000])
+        stats = sim.run_interval(threads, uniform_assignment(2))
+        assert stats.idle_energy == pytest.approx(0.5 * sum(stats.wait_times))
+
+    def test_assignment_length_checked(self):
+        sim = MultiCoreSim(seed=4)
+        with pytest.raises(ValueError):
+            sim.run_interval(make_threads([100, 100]), uniform_assignment(3))
+
+
+class TestModelValidation:
+    """The discrete-event simulator must converge to the paper's
+    closed-form model -- the load-bearing consistency check between
+    the substrate and the optimisation layer."""
+
+    @pytest.fixture(scope="class")
+    def setup(self):
+        cfg = PlatformConfig()
+        err = BetaTailErrorFunction(a=5.5, b=4.0, lo=0.4, hi=0.99, scale_p=0.15)
+        threads = make_threads([300_000, 280_000, 260_000, 250_000], cpi=1.3, err=err)
+        from repro.core.problem import SynTSProblem
+
+        problem = SynTSProblem(config=cfg, threads=tuple(threads))
+        return cfg, threads, problem
+
+    def test_simulated_time_matches_eq_4_2(self, setup):
+        cfg, threads, problem = setup
+        assignment = problem.assignment_from_indices([(1, 2), (0, 1), (2, 3), (3, 5)])
+        analytic = problem.evaluate_indices([(1, 2), (0, 1), (2, 3), (3, 5)])
+        sim = MultiCoreSim(config=cfg, seed=5)
+        stats = sim.run_interval(threads, assignment)
+        for got, want in zip(stats.arrival_times, analytic.times):
+            assert got == pytest.approx(want, rel=0.01)
+        assert stats.texec == pytest.approx(analytic.texec, rel=0.01)
+
+    def test_simulated_energy_matches_eq_4_3(self, setup):
+        cfg, threads, problem = setup
+        indices = [(1, 2), (0, 1), (2, 3), (3, 5)]
+        analytic = problem.evaluate_indices(indices)
+        sim = MultiCoreSim(config=cfg, seed=6)
+        stats = sim.run_interval(threads, problem.assignment_from_indices(indices))
+        for got, want in zip(
+            (r.energy for r in stats.core_results), analytic.energies
+        ):
+            assert got == pytest.approx(want, rel=0.01)
+
+    def test_synts_decision_validated_in_simulation(self, setup):
+        """The optimiser's predicted win must materialise when its
+        assignment is executed instruction-by-instruction."""
+        cfg, threads, problem = setup
+        theta = problem.equal_weight_theta()
+        sol = solve_synts_poly(problem, theta)
+        sim = MultiCoreSim(config=cfg, seed=7)
+        nominal = sim.run_interval(
+            threads, uniform_assignment(4, v=cfg.voltages[0], r=1.0)
+        )
+        synts = sim.run_interval(threads, sol.assignment)
+        assert synts.edp < nominal.edp
+
+
+class TestOnlineSimulation:
+    def test_instruction_level_online_agrees_with_analytic(self):
+        """The instruction-level controller and the analytic one land
+        within a few percent of each other on EDP."""
+        problem = interval_problems(build_benchmark("radix"), "decode")[0]
+        theta = problem.equal_weight_theta()
+        knobs = OnlineKnobs(n_samp=50_000)
+
+        analytic = run_online_interval(
+            problem, theta, np.random.default_rng(8), knobs
+        )
+        simulated = simulate_online_interval(
+            problem.threads, theta, problem.config, knobs, seed=8
+        )
+        analytic_edp = analytic.total_energy * analytic.texec
+        assert simulated.edp == pytest.approx(analytic_edp, rel=0.05)
+
+    def test_simulated_estimates_identify_critical_thread(self):
+        problem = interval_problems(build_benchmark("radix"), "decode")[0]
+        theta = problem.equal_weight_theta()
+        out = simulate_online_interval(
+            problem.threads, theta, problem.config, OnlineKnobs(n_samp=50_000), seed=9
+        )
+        at_min_r = [est(0.64) for est in out.estimates]
+        assert int(np.argmax(at_min_r)) == 0
+
+    def test_trace_count_validation(self):
+        problem = interval_problems(build_benchmark("fmm"), "decode")[0]
+        with pytest.raises(ValueError):
+            simulate_online_interval(
+                problem.threads, 1.0, problem.config, traces=[]
+            )

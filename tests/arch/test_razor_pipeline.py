@@ -1,0 +1,173 @@
+"""Tests for the Razor model, traces and pipeline engines."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.arch.pipeline import SteppedPipeline, execute_trace
+from repro.arch.razor import RazorStage
+from repro.arch.trace import (
+    MEMORY_LATENCY,
+    InstructionTrace,
+    sample_delays_from_error_function,
+    trace_for_thread,
+)
+from repro.core.model import OperatingPoint, PlatformConfig, ThreadParams
+from repro.errors.probability import (
+    BetaTailErrorFunction,
+    TabulatedErrorFunction,
+    ZeroErrorFunction,
+)
+
+
+def make_thread(n=1000, cpi=1.3, err=None):
+    return ThreadParams(
+        n_instructions=n, cpi_base=cpi, err=err or ZeroErrorFunction()
+    )
+
+
+class TestRazor:
+    def test_detects_late_settling(self):
+        razor = RazorStage()
+        assert razor.check(0.8, tsr=0.7)
+        assert not razor.check(0.6, tsr=0.7)
+        assert razor.stats.errors == 1
+        assert razor.stats.instructions == 2
+
+    def test_no_errors_without_speculation(self):
+        """At r = 1 nothing inside the detection window can err."""
+        razor = RazorStage()
+        rng = np.random.default_rng(0)
+        mask = razor.check_batch(rng.random(1000), tsr=1.0)
+        assert mask.sum() == 0
+
+    def test_undetectable_counted(self):
+        razor = RazorStage(detection_window=1.0)
+        assert razor.check(1.5, tsr=0.9)
+        assert razor.stats.undetectable == 1
+        assert razor.stats.errors == 0
+
+    def test_batch_matches_scalar(self):
+        rng = np.random.default_rng(1)
+        delays = rng.random(200)
+        scalar = RazorStage()
+        batch = RazorStage()
+        mask = batch.check_batch(delays, tsr=0.6)
+        for d in delays:
+            scalar.check(float(d), tsr=0.6)
+        assert scalar.stats.errors == batch.stats.errors
+        assert mask.sum() == batch.stats.errors
+
+
+class TestTraces:
+    def test_cpi_realised(self):
+        rng = np.random.default_rng(2)
+        trace = trace_for_thread(make_thread(n=200_000, cpi=1.4), rng)
+        assert trace.mean_cpi == pytest.approx(1.4, abs=0.02)
+
+    def test_only_two_latency_classes(self):
+        rng = np.random.default_rng(3)
+        trace = trace_for_thread(make_thread(n=5000, cpi=1.5), rng)
+        assert set(np.unique(trace.base_cycles)) <= {1, MEMORY_LATENCY}
+
+    def test_cpi_out_of_range_rejected(self):
+        rng = np.random.default_rng(4)
+        with pytest.raises(ValueError):
+            trace_for_thread(make_thread(cpi=0.5), rng)
+
+    def test_slice(self):
+        rng = np.random.default_rng(5)
+        trace = trace_for_thread(make_thread(n=100), rng)
+        head = trace.slice(0, 30)
+        tail = trace.slice(30)
+        assert head.n_instructions == 30
+        assert tail.n_instructions == 70
+
+    def test_misaligned_arrays_rejected(self):
+        with pytest.raises(ValueError):
+            InstructionTrace(
+                base_cycles=np.ones(3, dtype=np.int64), delays=np.zeros(4)
+            )
+
+    def test_inverse_cdf_sampling_matches_tabulated_tail(self):
+        """Sampling from a tabulated error function reproduces it."""
+        err = TabulatedErrorFunction([0.0, 0.5, 0.8, 1.0], [0.6, 0.3, 0.05, 0.0])
+        rng = np.random.default_rng(6)
+        d = sample_delays_from_error_function(err, 200_000, rng)
+        for r in (0.3, 0.5, 0.7, 0.9):
+            assert np.mean(d > r) == pytest.approx(float(err(r)), abs=5e-3)
+
+    def test_beta_fast_path(self):
+        err = BetaTailErrorFunction(a=3, b=5, lo=0.4, hi=1.0, scale_p=0.5)
+        rng = np.random.default_rng(7)
+        d = sample_delays_from_error_function(err, 100_000, rng)
+        assert np.mean(d > 0.7) == pytest.approx(float(err(0.7)), abs=5e-3)
+
+
+class TestPipelineEngines:
+    def test_error_free_cycles(self):
+        cfg = PlatformConfig()
+        rng = np.random.default_rng(8)
+        trace = trace_for_thread(make_thread(n=1000, cpi=1.2), rng)
+        res = execute_trace(trace, OperatingPoint(1.0, 1.0), cfg)
+        assert res.errors == 0
+        assert res.cycles == int(trace.base_cycles.sum())
+
+    def test_replay_penalty_accounting(self):
+        cfg = PlatformConfig()
+        trace = InstructionTrace(
+            base_cycles=np.array([1, 1, 1], dtype=np.int64),
+            delays=np.array([0.9, 0.1, 0.95]),
+        )
+        res = execute_trace(trace, OperatingPoint(1.0, 0.8), cfg)
+        assert res.errors == 2
+        assert res.cycles == 3 + 2 * 5
+
+    def test_time_uses_clock_period(self):
+        cfg = PlatformConfig()
+        trace = InstructionTrace(
+            base_cycles=np.array([1, 1], dtype=np.int64),
+            delays=np.zeros(2),
+        )
+        res = execute_trace(trace, OperatingPoint(0.8, 0.64), cfg)
+        assert res.time == pytest.approx(2 * 0.64 * 1.39)
+
+    def test_energy_scales_with_voltage_squared(self):
+        cfg = PlatformConfig()
+        trace = InstructionTrace(
+            base_cycles=np.array([1] * 10, dtype=np.int64),
+            delays=np.zeros(10),
+        )
+        hi = execute_trace(trace, OperatingPoint(1.0, 1.0), cfg)
+        lo = execute_trace(trace, OperatingPoint(0.65, 1.0), cfg)
+        assert lo.energy / hi.energy == pytest.approx(0.65**2)
+
+    @given(seed=st.integers(min_value=0, max_value=5000))
+    @settings(max_examples=20, deadline=None)
+    def test_property_stepped_equals_vectorised(self, seed):
+        """The two engines must agree cycle-exactly."""
+        cfg = PlatformConfig()
+        rng = np.random.default_rng(seed)
+        err = BetaTailErrorFunction(a=3, b=4, lo=0.3, hi=1.0, scale_p=0.4)
+        trace = trace_for_thread(make_thread(n=300, cpi=1.4, err=err), rng)
+        point = OperatingPoint(voltage=0.86, tsr=0.784)
+        vec = execute_trace(trace, point, cfg)
+        stepped = SteppedPipeline(cfg, point).run(trace)
+        assert vec.cycles == stepped.cycles
+        assert vec.errors == stepped.errors
+        assert vec.time == pytest.approx(stepped.time)
+        assert vec.energy == pytest.approx(stepped.energy)
+
+    def test_error_rate_converges_to_error_function(self):
+        """Validation of Eq. 4.1's p_err: the simulated error rate at
+        ratio r approaches err(r)."""
+        cfg = PlatformConfig()
+        rng = np.random.default_rng(9)
+        err = BetaTailErrorFunction(a=5.5, b=4.0, lo=0.4, hi=0.99, scale_p=0.12)
+        trace = trace_for_thread(make_thread(n=400_000, cpi=1.25, err=err), rng)
+        r = 0.712
+        res = execute_trace(trace, OperatingPoint(1.0, r), cfg)
+        assert res.errors / res.instructions == pytest.approx(
+            float(err(r)), abs=2e-3
+        )

@@ -1,0 +1,110 @@
+"""Unit tests for the standard-cell gate library."""
+
+import itertools
+
+import pytest
+
+from repro.circuit.gates import GATE_LIBRARY, gate_type
+
+
+class TestGateFunctions:
+    def test_inv(self):
+        inv = gate_type("INV")
+        assert inv.evaluate((0,)) == 1
+        assert inv.evaluate((1,)) == 0
+
+    def test_buf(self):
+        buf = gate_type("BUF")
+        assert buf.evaluate((0,)) == 0
+        assert buf.evaluate((1,)) == 1
+
+    @pytest.mark.parametrize(
+        "name,reference",
+        [
+            ("NAND2", lambda a, b: 1 - (a & b)),
+            ("NOR2", lambda a, b: 1 - (a | b)),
+            ("AND2", lambda a, b: a & b),
+            ("OR2", lambda a, b: a | b),
+            ("XOR2", lambda a, b: a ^ b),
+            ("XNOR2", lambda a, b: 1 - (a ^ b)),
+        ],
+    )
+    def test_two_input_truth_tables(self, name, reference):
+        g = gate_type(name)
+        for a, b in itertools.product((0, 1), repeat=2):
+            assert g.evaluate((a, b)) == reference(a, b), (name, a, b)
+
+    @pytest.mark.parametrize(
+        "name,reference",
+        [
+            ("NAND3", lambda a, b, c: 1 - (a & b & c)),
+            ("NOR3", lambda a, b, c: 1 - (a | b | c)),
+            ("AND3", lambda a, b, c: a & b & c),
+            ("OR3", lambda a, b, c: a | b | c),
+        ],
+    )
+    def test_three_input_truth_tables(self, name, reference):
+        g = gate_type(name)
+        for bits in itertools.product((0, 1), repeat=3):
+            assert g.evaluate(bits) == reference(*bits)
+
+    def test_mux2(self):
+        mux = gate_type("MUX2")
+        for d0, d1 in itertools.product((0, 1), repeat=2):
+            assert mux.evaluate((d0, d1, 0)) == d0
+            assert mux.evaluate((d0, d1, 1)) == d1
+
+    def test_tie_cells(self):
+        assert gate_type("TIEHI").evaluate(()) == 1
+        assert gate_type("TIELO").evaluate(()) == 0
+
+    def test_arity_check(self):
+        with pytest.raises(ValueError):
+            gate_type("NAND2").evaluate((1,))
+
+
+class TestControllingValues:
+    """A controlling input alone must determine the output."""
+
+    @pytest.mark.parametrize(
+        "name",
+        [n for n, g in GATE_LIBRARY.items() if g.controlling is not None],
+    )
+    def test_controlling_consistency(self, name):
+        g = gate_type(name)
+        cval, cout = g.controlling
+        for bits in itertools.product((0, 1), repeat=g.n_inputs):
+            if cval in bits:
+                assert g.evaluate(bits) == cout, (name, bits)
+
+    def test_xor_has_no_controlling_value(self):
+        assert gate_type("XOR2").controlling is None
+        assert gate_type("MUX2").controlling is None
+
+
+class TestDelayModel:
+    def test_fanout_increases_delay(self):
+        g = gate_type("NAND2")
+        assert g.propagation_delay(1) < g.propagation_delay(4)
+
+    def test_single_fanout_is_intrinsic(self):
+        g = gate_type("INV")
+        assert g.propagation_delay(1) == pytest.approx(g.delay)
+
+    def test_inverter_is_fastest(self):
+        inv = gate_type("INV").delay
+        for name, g in GATE_LIBRARY.items():
+            if name in ("TIEHI", "TIELO"):
+                continue
+            assert g.delay >= inv
+
+    def test_positive_energy_and_area(self):
+        for name, g in GATE_LIBRARY.items():
+            if name in ("TIEHI", "TIELO"):
+                continue
+            assert g.energy > 0, name
+            assert g.area > 0, name
+
+    def test_unknown_gate_raises(self):
+        with pytest.raises(KeyError):
+            gate_type("NAND17")

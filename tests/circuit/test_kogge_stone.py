@@ -1,0 +1,76 @@
+"""Tests for the Kogge-Stone parallel-prefix adder."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.circuit.logicsim import simulate_trace
+from repro.circuit.netlist import Netlist
+from repro.circuit.sta import critical_path
+from repro.circuit.synth import int_to_bits, kogge_stone_adder, ripple_carry_adder
+
+
+def ks_netlist(width):
+    nl = Netlist(f"ks{width}")
+    a = nl.add_inputs("a", width)
+    b = nl.add_inputs("b", width)
+    sums, cout = kogge_stone_adder(nl, a, b)
+    nl.set_outputs(sums + [cout])
+    return nl
+
+
+def rca_netlist(width):
+    nl = Netlist(f"rca{width}")
+    a = nl.add_inputs("a", width)
+    b = nl.add_inputs("b", width)
+    sums, cout = ripple_carry_adder(nl, a, b)
+    nl.set_outputs(sums + [cout])
+    return nl
+
+
+class TestKoggeStone:
+    @given(
+        a=st.integers(min_value=0, max_value=2**12 - 1),
+        b=st.integers(min_value=0, max_value=2**12 - 1),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_adds_correctly(self, a, b):
+        nl = ks_netlist(12)
+        vec = np.concatenate(
+            [int_to_bits(np.array([0, a]), 12), int_to_bits(np.array([0, b]), 12)],
+            axis=1,
+        )
+        out = simulate_trace(nl, vec).output_values[1]
+        got = int((out * (1 << np.arange(13, dtype=np.uint64))).sum())
+        assert got == a + b
+
+    def test_matches_ripple_carry_exhaustively(self):
+        """Full 4-bit equivalence against the ripple adder."""
+        ks, rca = ks_netlist(4), rca_netlist(4)
+        vals = np.arange(16)
+        aa, bb = np.meshgrid(vals, vals)
+        vec = np.concatenate(
+            [int_to_bits(aa.ravel(), 4), int_to_bits(bb.ravel(), 4)], axis=1
+        )
+        out_ks = simulate_trace(ks, vec).output_values
+        out_rca = simulate_trace(rca, vec).output_values
+        np.testing.assert_array_equal(out_ks, out_rca)
+
+    def test_logarithmic_depth_beats_ripple(self):
+        """The prefix tree's shallow critical path is the whole point:
+        at 32 bits it must be far shorter than the ripple chain."""
+        ks_delay, _ = critical_path(ks_netlist(32))
+        rca_delay, _ = critical_path(rca_netlist(32))
+        assert ks_delay < 0.5 * rca_delay
+
+    def test_mismatched_widths_rejected(self):
+        nl = Netlist()
+        a = nl.add_inputs("a", 4)
+        b = nl.add_inputs("b", 3)
+        with pytest.raises(ValueError):
+            kogge_stone_adder(nl, a, b)
+
+    def test_more_gates_than_ripple(self):
+        """Speed costs area: the prefix network is larger."""
+        assert ks_netlist(16).n_gates() > rca_netlist(16).n_gates()

@@ -1,0 +1,186 @@
+"""Tests for the transition-mode logic simulator."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.circuit.logicsim import evaluate, simulate_trace
+from repro.circuit.netlist import Netlist
+from repro.circuit.sta import critical_path
+from repro.circuit.synth import build_simple_alu_stage, ripple_carry_adder
+
+
+def adder_netlist(width):
+    nl = Netlist(f"rca{width}")
+    a = nl.add_inputs("a", width)
+    b = nl.add_inputs("b", width)
+    sums, cout = ripple_carry_adder(nl, a, b)
+    nl.set_outputs(sums + [cout])
+    return nl
+
+
+def bits_to_int(bits):
+    return int((np.asarray(bits) * (1 << np.arange(len(bits)))).sum())
+
+
+class TestFunctionalEvaluate:
+    def test_single_vector(self):
+        nl = Netlist()
+        a = nl.add_input("a")
+        b = nl.add_input("b")
+        y = nl.add_gate("XOR2", [a, b], output="y")
+        nl.set_outputs([y])
+        assert evaluate(nl, {"a": 1, "b": 0})["y"] == 1
+        assert evaluate(nl, {"a": 1, "b": 1})["y"] == 0
+
+    def test_missing_input_raises(self):
+        nl = Netlist()
+        a = nl.add_input("a")
+        y = nl.add_gate("INV", [a])
+        nl.set_outputs([y])
+        with pytest.raises(KeyError):
+            evaluate(nl, {})
+
+    @given(
+        a=st.integers(min_value=0, max_value=255),
+        b=st.integers(min_value=0, max_value=255),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_adder_adds(self, a, b):
+        nl = adder_netlist(8)
+        vec = {}
+        for i in range(8):
+            vec[f"a{i}"] = (a >> i) & 1
+            vec[f"b{i}"] = (b >> i) & 1
+        values = evaluate(nl, vec)
+        result = bits_to_int([values[n] for n in nl.outputs])
+        assert result == a + b
+
+
+class TestTraceSimulation:
+    def test_shape_validation(self):
+        nl = adder_netlist(4)
+        with pytest.raises(ValueError):
+            simulate_trace(nl, np.zeros((10, 3)))
+
+    def test_first_cycle_has_zero_delay(self):
+        nl = adder_netlist(4)
+        rng = np.random.default_rng(1)
+        vecs = rng.integers(0, 2, size=(20, 8))
+        res = simulate_trace(nl, vecs)
+        assert res.delays[0] == 0.0
+
+    def test_identical_vectors_no_transition(self):
+        nl = adder_netlist(4)
+        vec = np.tile(np.array([[1, 0, 1, 0, 0, 1, 1, 0]]), (5, 1))
+        res = simulate_trace(nl, vec)
+        assert np.all(res.delays == 0.0)
+        assert np.all(res.energy == 0.0)
+        assert np.all(res.toggle_counts == 0)
+
+    def test_delays_bounded_by_sta(self):
+        nl = adder_netlist(8)
+        rng = np.random.default_rng(2)
+        vecs = rng.integers(0, 2, size=(300, 16))
+        res = simulate_trace(nl, vecs)
+        crit, _ = critical_path(nl)
+        assert res.delays.max() <= crit + 1e-9
+
+    def test_voltage_scale_scales_delays(self):
+        nl = adder_netlist(6)
+        rng = np.random.default_rng(3)
+        vecs = rng.integers(0, 2, size=(50, 12))
+        d1 = simulate_trace(nl, vecs, voltage_scale=1.0).delays
+        d2 = simulate_trace(nl, vecs, voltage_scale=1.63).delays
+        np.testing.assert_allclose(d2, 1.63 * d1, rtol=1e-12)
+
+    def test_carry_length_drives_delay(self):
+        """A full-width carry ripple must sensitise a longer path than
+        an LSB-only toggle."""
+        width = 8
+        nl = adder_netlist(width)
+        all_ones = [1] * width + [0] * width
+        zeros = [0] * 2 * width
+        one = [1] + [0] * (width - 1) + [0] * width
+        # 0+0 -> (2^w - 1) + 1: carry ripples through every bit
+        long_trace = np.array([zeros, [1] * width + [1] + [0] * (width - 1)])
+        # 0+0 -> 1+0: only the LSB path toggles
+        short_trace = np.array([zeros, one])
+        long_d = simulate_trace(nl, long_trace).delays[1]
+        short_d = simulate_trace(nl, short_trace).delays[1]
+        assert long_d > short_d > 0
+
+    def test_output_values_match_functional_eval(self):
+        stage = build_simple_alu_stage(8)
+        rng = np.random.default_rng(4)
+        a = rng.integers(0, 256, 64)
+        b = rng.integers(0, 256, 64)
+        op = np.zeros(64, dtype=int)
+        res = simulate_trace(stage.netlist, stage.encoder(a, b, op))
+        got = (res.output_values[:, :8] * (1 << np.arange(8))).sum(axis=1)
+        np.testing.assert_array_equal(got, (a + b) % 256)
+
+    def test_energy_counts_toggles(self):
+        nl = Netlist()
+        a = nl.add_input("a")
+        y = nl.add_gate("INV", [a], output="y")
+        nl.set_outputs([y])
+        vecs = np.array([[0], [1], [1], [0]])
+        res = simulate_trace(nl, vecs)
+        assert res.toggle_counts.tolist() == [0, 1, 0, 1]
+        assert res.energy[1] > 0 and res.energy[2] == 0
+
+
+class TestSensitizationShortcut:
+    def test_controlling_input_settles_output_early(self):
+        """AND2 with one late input: if the *early* input is 0
+        (controlling) and the output transitions, the transition is
+        timed from the early input, not the late one."""
+        nl = Netlist()
+        a = nl.add_input("a")
+        b = nl.add_input("b")
+        # delay b through two inverters
+        b1 = nl.add_gate("INV", [b])
+        b2 = nl.add_gate("INV", [b1])
+        y = nl.add_gate("AND2", [a, b2], output="y")
+        nl.set_outputs([y])
+        # cycle 0: a=1,b=1 -> y=1 ; cycle 1: a=0,b=0 -> y=0
+        # the falling a (controlling 0, settles at t=0) decides y; the
+        # late path through the inverters is irrelevant.
+        trace = np.array([[1, 1], [0, 0]])
+        res = simulate_trace(nl, trace)
+        from repro.circuit.gates import gate_type
+
+        expected = gate_type("AND2").propagation_delay(1)
+        assert res.delays[1] == pytest.approx(expected)
+
+    def test_noncontrolling_waits_for_latest(self):
+        """Same circuit, but the transition is decided by the late
+        non-controlling input (a stays 1, b rises)."""
+        nl = Netlist()
+        a = nl.add_input("a")
+        b = nl.add_input("b")
+        b1 = nl.add_gate("INV", [b])
+        b2 = nl.add_gate("INV", [b1])
+        y = nl.add_gate("AND2", [a, b2], output="y")
+        nl.set_outputs([y])
+        trace = np.array([[1, 0], [1, 1]])
+        res = simulate_trace(nl, trace)
+        from repro.circuit.gates import gate_type
+
+        inv = gate_type("INV")
+        and2 = gate_type("AND2")
+        expected = 2 * inv.propagation_delay(1) + and2.propagation_delay(1)
+        assert res.delays[1] == pytest.approx(expected)
+
+
+@given(st.integers(min_value=0, max_value=2**10 - 1), st.integers(min_value=0, max_value=2**10 - 1))
+@settings(max_examples=30, deadline=None)
+def test_property_trace_adder_correct(a, b):
+    """Trace simulation computes the same sums as integer addition."""
+    nl = adder_netlist(10)
+    bits = [(a >> i) & 1 for i in range(10)] + [(b >> i) & 1 for i in range(10)]
+    res = simulate_trace(nl, np.array([[0] * 20, bits]))
+    got = bits_to_int(res.output_values[1])
+    assert got == a + b

@@ -1,0 +1,139 @@
+"""Unit tests for the netlist representation."""
+
+import pytest
+
+from repro.circuit.netlist import Netlist, NetlistError
+
+
+def small_xor_netlist():
+    nl = Netlist("xor_pair")
+    a = nl.add_input("a")
+    b = nl.add_input("b")
+    y = nl.add_gate("XOR2", [a, b], output="y")
+    nl.set_outputs([y])
+    return nl
+
+
+class TestConstruction:
+    def test_basic_build(self):
+        nl = small_xor_netlist()
+        assert nl.inputs == ["a", "b"]
+        assert nl.outputs == ["y"]
+        assert nl.n_gates() == 1
+
+    def test_duplicate_input_rejected(self):
+        nl = Netlist()
+        nl.add_input("a")
+        with pytest.raises(NetlistError):
+            nl.add_input("a")
+
+    def test_double_drive_rejected(self):
+        nl = Netlist()
+        a = nl.add_input("a")
+        nl.add_gate("INV", [a], output="y")
+        with pytest.raises(NetlistError):
+            nl.add_gate("BUF", [a], output="y")
+
+    def test_driving_an_input_rejected(self):
+        nl = Netlist()
+        a = nl.add_input("a")
+        b = nl.add_input("b")
+        with pytest.raises(NetlistError):
+            nl.add_gate("INV", [b], output=a)
+
+    def test_unknown_output_rejected(self):
+        nl = small_xor_netlist()
+        with pytest.raises(NetlistError):
+            nl.set_outputs(["nonexistent"])
+
+    def test_add_inputs_bulk(self):
+        nl = Netlist()
+        nets = nl.add_inputs("d", 4)
+        assert nets == ["d0", "d1", "d2", "d3"]
+
+
+class TestStructure:
+    def test_topological_order_respects_deps(self):
+        nl = Netlist()
+        a = nl.add_input("a")
+        x = nl.add_gate("INV", [a])
+        y = nl.add_gate("INV", [x])
+        z = nl.add_gate("AND2", [x, y])
+        nl.set_outputs([z])
+        order = [g.output for g in nl.topological_order()]
+        assert order.index(x) < order.index(y) < order.index(z)
+
+    def test_cycle_detected(self):
+        nl = Netlist()
+        a = nl.add_input("a")
+        # create a cycle by naming nets ahead of time
+        nl.add_gate("AND2", [a, "loop2"], output="loop1")
+        nl.add_gate("INV", ["loop1"], output="loop2")
+        nl.set_outputs(["loop2"])
+        with pytest.raises(NetlistError, match="cycle"):
+            nl.topological_order()
+
+    def test_undriven_net_detected(self):
+        nl = Netlist()
+        a = nl.add_input("a")
+        nl.add_gate("AND2", [a, "ghost"], output="y")
+        nl.set_outputs(["y"])
+        with pytest.raises(NetlistError, match="undriven"):
+            nl.topological_order()
+
+    def test_validate_flags_dangling(self):
+        nl = Netlist()
+        a = nl.add_input("a")
+        nl.add_gate("INV", [a], output="used")
+        nl.add_gate("BUF", [a], output="unused")
+        nl.set_outputs(["used"])
+        with pytest.raises(NetlistError, match="dangling"):
+            nl.validate()
+
+    def test_validate_requires_outputs(self):
+        nl = Netlist()
+        a = nl.add_input("a")
+        nl.add_gate("INV", [a])
+        with pytest.raises(NetlistError, match="no outputs"):
+            nl.validate()
+
+    def test_fanout_counts(self):
+        nl = Netlist()
+        a = nl.add_input("a")
+        x = nl.add_gate("INV", [a])
+        nl.add_gate("AND2", [a, x], output="y")
+        nl.set_outputs(["y"])
+        fan = nl.fanout_counts()
+        assert fan[a] == 2
+        assert fan[x] == 1
+        assert fan["y"] == 1  # capture flop load
+
+    def test_logic_depth(self):
+        nl = Netlist()
+        a = nl.add_input("a")
+        x = nl.add_gate("INV", [a])
+        y = nl.add_gate("INV", [x])
+        nl.set_outputs([y])
+        assert nl.logic_depth() == 2
+
+    def test_driver_of(self):
+        nl = small_xor_netlist()
+        assert nl.driver_of("y") is not None
+        assert nl.driver_of("a") is None
+
+    def test_gate_histogram_and_area(self):
+        nl = Netlist()
+        a = nl.add_input("a")
+        b = nl.add_input("b")
+        y1 = nl.add_gate("XOR2", [a, b])
+        y2 = nl.add_gate("XOR2", [a, b])
+        z = nl.add_gate("AND2", [y1, y2])
+        nl.set_outputs([z])
+        assert nl.gate_histogram() == {"AND2": 1, "XOR2": 2}
+        assert nl.total_area() > 0
+
+    def test_to_networkx(self):
+        nl = small_xor_netlist()
+        g = nl.to_networkx()
+        assert g.number_of_nodes() == 3
+        assert g.has_edge("a", "y") and g.has_edge("b", "y")

@@ -1,0 +1,83 @@
+"""Tests for the path-sensitisation characterisation layer."""
+
+import numpy as np
+import pytest
+
+from repro.circuit.sensitize import characterize_stage, empirical_error_curve
+from repro.circuit.synth import build_simple_alu_stage, get_stage
+
+
+@pytest.fixture(scope="module")
+def alu_profile():
+    stage = build_simple_alu_stage(8)
+    rng = np.random.default_rng(11)
+    n = 400
+    return characterize_stage(
+        stage,
+        {
+            "a_vals": rng.integers(0, 256, n),
+            "b_vals": rng.integers(0, 256, n),
+            "op_vals": np.zeros(n, dtype=int),
+        },
+    )
+
+
+class TestProfile:
+    def test_delays_normalised(self, alu_profile):
+        d = alu_profile.normalized_delays
+        assert d.min() >= 0.0
+        assert d.max() <= 1.0 + 1e-9
+
+    def test_error_probability_monotone_nonincreasing(self, alu_profile):
+        ratios = np.linspace(0.3, 1.0, 15)
+        errs = alu_profile.error_curve(ratios)
+        assert all(a >= b - 1e-12 for a, b in zip(errs, errs[1:]))
+
+    def test_error_probability_zero_at_rated_period(self, alu_profile):
+        assert alu_profile.error_probability(1.0) == 0.0
+
+    def test_error_probability_bounds(self, alu_profile):
+        assert 0.0 <= alu_profile.error_probability(0.5) <= 1.0
+        assert alu_profile.error_probability(0.0) > 0.0
+
+    def test_quantile(self, alu_profile):
+        q50 = alu_profile.quantile(0.5)
+        q95 = alu_profile.quantile(0.95)
+        assert 0.0 <= q50 <= q95 <= 1.0
+
+    def test_error_curve_dict(self, alu_profile):
+        curve = empirical_error_curve(alu_profile, [0.6, 0.8, 1.0])
+        assert set(curve) == {0.6, 0.8, 1.0}
+        assert curve[0.6] >= curve[0.8] >= curve[1.0]
+
+    def test_energy_and_toggles_positive(self, alu_profile):
+        assert alu_profile.mean_energy > 0.0
+        assert 0.0 < alu_profile.toggle_rate < 1.0
+
+
+class TestOperandDependence:
+    def test_low_activity_operands_yield_lower_errors(self):
+        """Operands with few toggling bits sensitise shorter paths --
+        the thread-heterogeneity mechanism the paper exploits."""
+        stage = build_simple_alu_stage(8)
+        rng = np.random.default_rng(12)
+        n = 400
+        wide = characterize_stage(
+            stage,
+            {
+                "a_vals": rng.integers(0, 256, n),
+                "b_vals": rng.integers(0, 256, n),
+                "op_vals": np.zeros(n, dtype=int),
+            },
+        )
+        narrow = characterize_stage(
+            stage,
+            {
+                "a_vals": rng.integers(0, 8, n),
+                "b_vals": rng.integers(0, 8, n),
+                "op_vals": np.zeros(n, dtype=int),
+            },
+        )
+        r = 0.6
+        assert narrow.error_probability(r) <= wide.error_probability(r)
+        assert narrow.normalized_delays.mean() < wide.normalized_delays.mean()

@@ -1,0 +1,61 @@
+"""Tests for the mini-SPICE transient simulator and ring oscillator."""
+
+import numpy as np
+import pytest
+
+from repro.circuit.ring_oscillator import RING_CALIBRATION, sweep_ring_oscillator
+from repro.circuit.spice import InverterParams, simulate_inverter_ring
+from repro.circuit.voltage import TABLE_5_1
+
+
+class TestTransient:
+    def test_ring_oscillates(self):
+        res = simulate_inverter_ring(5, 1.0, RING_CALIBRATION, t_stop=1.5e-9)
+        assert res.period is not None
+        assert res.period > 0
+
+    def test_even_stage_count_rejected(self):
+        with pytest.raises(ValueError):
+            simulate_inverter_ring(4, 1.0)
+
+    def test_subthreshold_supply_rejected(self):
+        with pytest.raises(ValueError):
+            simulate_inverter_ring(5, 0.3, InverterParams(vth=0.5))
+
+    def test_waveforms_bounded_by_rails(self):
+        res = simulate_inverter_ring(5, 0.9, RING_CALIBRATION, t_stop=1.0e-9)
+        assert res.waveforms.min() >= 0.0
+        assert res.waveforms.max() <= 0.9 + 1e-12
+
+    def test_lower_voltage_slower(self):
+        hi = simulate_inverter_ring(5, 1.0, RING_CALIBRATION, t_stop=1.5e-9)
+        lo = simulate_inverter_ring(5, 0.8, RING_CALIBRATION, t_stop=3.0e-9)
+        assert lo.period > hi.period
+
+    def test_more_stages_longer_period(self):
+        small = simulate_inverter_ring(5, 1.0, RING_CALIBRATION, t_stop=2.0e-9)
+        big = simulate_inverter_ring(9, 1.0, RING_CALIBRATION, t_stop=2.0e-9)
+        assert big.period > small.period
+
+
+class TestRingSweep:
+    @pytest.fixture(scope="class")
+    def sweep(self):
+        return sweep_ring_oscillator()
+
+    def test_regenerates_table_5_1(self, sweep):
+        """Table 5.1 regeneration: calibrated worst-case ~8 %, bound 12 %."""
+        assert sweep.max_rel_error < 0.12
+
+    def test_normalised_reference_is_unity(self, sweep):
+        assert sweep.normalized[1.0] == pytest.approx(1.0)
+
+    def test_monotone_in_voltage(self, sweep):
+        volts = sorted(sweep.normalized, reverse=True)
+        periods = [sweep.normalized[v] for v in volts]
+        assert all(a <= b + 1e-12 for a, b in zip(periods, periods[1:]))
+
+    def test_rows_cover_published_table(self, sweep):
+        rows = sweep.rows()
+        assert len(rows) == len(TABLE_5_1)
+        assert rows[0][0] == 1.0

@@ -1,0 +1,100 @@
+"""Unit tests for static timing analysis."""
+
+import pytest
+
+from repro.circuit.gates import gate_type
+from repro.circuit.netlist import Netlist
+from repro.circuit.sta import analyze, arrival_times, critical_path
+
+
+def chain_netlist(n):
+    """n inverters in series."""
+    nl = Netlist("chain")
+    net = nl.add_input("a")
+    for _ in range(n):
+        net = nl.add_gate("INV", [net])
+    nl.set_outputs([net])
+    return nl
+
+
+class TestArrivalTimes:
+    def test_input_arrival_is_zero(self):
+        nl = chain_netlist(3)
+        arr = arrival_times(nl)
+        assert arr["a"] == 0.0
+
+    def test_chain_delay_accumulates(self):
+        inv = gate_type("INV")
+        nl = chain_netlist(4)
+        delay, _ = critical_path(nl)
+        # every inverter drives a single load
+        assert delay == pytest.approx(4 * inv.propagation_delay(1))
+
+    def test_voltage_scale_multiplies_uniformly(self):
+        nl = chain_netlist(5)
+        d1, _ = critical_path(nl, voltage_scale=1.0)
+        d2, _ = critical_path(nl, voltage_scale=2.63)
+        assert d2 == pytest.approx(2.63 * d1)
+
+    def test_max_over_inputs(self):
+        nl = Netlist()
+        a = nl.add_input("a")
+        b = nl.add_input("b")
+        slow = nl.add_gate("INV", [a])
+        slow = nl.add_gate("INV", [slow])
+        y = nl.add_gate("AND2", [slow, b])
+        nl.set_outputs([y])
+        arr = arrival_times(nl)
+        inv, and2 = gate_type("INV"), gate_type("AND2")
+        expected = 2 * inv.propagation_delay(1) + and2.propagation_delay(1)
+        assert arr[y] == pytest.approx(expected)
+
+
+class TestCriticalPath:
+    def test_path_endpoints(self):
+        nl = chain_netlist(3)
+        _, path = critical_path(nl)
+        assert path[0] == "a"
+        assert path[-1] == nl.outputs[0]
+
+    def test_path_follows_worst_branch(self):
+        nl = Netlist()
+        a = nl.add_input("a")
+        b = nl.add_input("b")
+        slow1 = nl.add_gate("INV", [a])
+        slow2 = nl.add_gate("INV", [slow1])
+        y = nl.add_gate("OR2", [slow2, b])
+        nl.set_outputs([y])
+        _, path = critical_path(nl)
+        assert "a" in path and slow1 in path and slow2 in path
+
+    def test_no_outputs_raises(self):
+        nl = Netlist()
+        a = nl.add_input("a")
+        nl.add_gate("INV", [a])
+        with pytest.raises(ValueError):
+            critical_path(nl)
+
+
+class TestFullAnalysis:
+    def test_zero_worst_slack_at_rated_period(self):
+        nl = chain_netlist(6)
+        report = analyze(nl)
+        worst = min(
+            s for s in report.slack.values() if s != float("inf")
+        )
+        assert worst == pytest.approx(0.0, abs=1e-9)
+
+    def test_slack_grows_with_period(self):
+        nl = chain_netlist(6)
+        rated = analyze(nl)
+        relaxed = analyze(nl, clock_period=rated.critical_delay * 1.5)
+        assert min(
+            s for s in relaxed.slack.values() if s != float("inf")
+        ) == pytest.approx(0.5 * rated.critical_delay)
+
+    def test_arrivals_nonnegative_and_bounded(self):
+        nl = chain_netlist(8)
+        report = analyze(nl)
+        for net, t in report.arrival.items():
+            assert 0.0 <= t <= report.critical_delay + 1e-9

@@ -1,0 +1,233 @@
+"""Functional tests for the synthesised pipe stages and datapath blocks."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.circuit.logicsim import simulate_trace
+from repro.circuit.netlist import Netlist
+from repro.circuit.synth import (
+    STAGE_NAMES,
+    array_multiplier,
+    barrel_shifter,
+    binary_decoder,
+    build_complex_alu_stage,
+    build_decode_stage,
+    build_simple_alu_stage,
+    get_stage,
+    int_to_bits,
+    nor_reduce,
+)
+
+
+def decode_word(bits_matrix, lo, width):
+    return (bits_matrix[:, lo : lo + width] * (1 << np.arange(width))).sum(axis=1)
+
+
+class TestHelpers:
+    def test_int_to_bits_roundtrip(self):
+        vals = np.array([0, 1, 5, 255, 256, 2**31])
+        bits = int_to_bits(vals, 40)
+        back = (bits * (1 << np.arange(40, dtype=np.uint64))).sum(axis=1)
+        np.testing.assert_array_equal(back, vals)
+
+    def test_binary_decoder_one_hot(self):
+        nl = Netlist()
+        sel = nl.add_inputs("s", 3)
+        lines = binary_decoder(nl, sel)
+        nl.set_outputs(lines)
+        for code in range(8):
+            vecs = int_to_bits(np.array([0, code]), 3)
+            res = simulate_trace(nl, vecs)
+            hot = np.flatnonzero(res.output_values[1])
+            assert hot.tolist() == [code]
+
+    def test_nor_reduce_zero_detect(self):
+        nl = Netlist()
+        d = nl.add_inputs("d", 5)
+        z = nor_reduce(nl, d)
+        nl.set_outputs([z])
+        res = simulate_trace(nl, np.array([[0] * 5, [0, 1, 0, 0, 0], [0] * 5]))
+        assert res.output_values[:, 0].tolist() == [1, 0, 1]
+
+
+class TestArrayMultiplier:
+    @given(
+        a=st.integers(min_value=0, max_value=255),
+        b=st.integers(min_value=0, max_value=255),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_multiplies(self, a, b):
+        nl = Netlist()
+        abits = nl.add_inputs("a", 8)
+        bbits = nl.add_inputs("b", 8)
+        prod = array_multiplier(nl, abits, bbits)
+        nl.set_outputs(prod)
+        vec = np.concatenate([int_to_bits(np.array([0, a]), 8), int_to_bits(np.array([0, b]), 8)], axis=1)
+        res = simulate_trace(nl, vec)
+        got = int((res.output_values[1] * (1 << np.arange(16, dtype=np.uint64))).sum())
+        assert got == a * b
+
+    def test_product_width(self):
+        nl = Netlist()
+        abits = nl.add_inputs("a", 4)
+        bbits = nl.add_inputs("b", 4)
+        prod = array_multiplier(nl, abits, bbits)
+        assert len(prod) == 8
+
+
+class TestBarrelShifter:
+    @given(
+        val=st.integers(min_value=0, max_value=2**8 - 1),
+        sh=st.integers(min_value=0, max_value=7),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_right_shift(self, val, sh):
+        nl = Netlist()
+        d = nl.add_inputs("d", 8)
+        s = nl.add_inputs("s", 3)
+        out = barrel_shifter(nl, d, s, left=False)
+        nl.set_outputs(out)
+        vec = np.concatenate(
+            [int_to_bits(np.array([0, val]), 8), int_to_bits(np.array([0, sh]), 3)],
+            axis=1,
+        )
+        res = simulate_trace(nl, vec)
+        got = int((res.output_values[1] * (1 << np.arange(8, dtype=np.uint64))).sum())
+        assert got == val >> sh
+
+    def test_left_shift(self):
+        nl = Netlist()
+        d = nl.add_inputs("d", 8)
+        s = nl.add_inputs("s", 3)
+        out = barrel_shifter(nl, d, s, left=True)
+        nl.set_outputs(out)
+        vec = np.concatenate(
+            [int_to_bits(np.array([0, 0b11]), 8), int_to_bits(np.array([0, 2]), 3)],
+            axis=1,
+        )
+        res = simulate_trace(nl, vec)
+        got = int((res.output_values[1] * (1 << np.arange(8, dtype=np.uint64))).sum())
+        assert got == 0b1100
+
+
+class TestSimpleALUStage:
+    @pytest.fixture(scope="class")
+    def stage(self):
+        return build_simple_alu_stage(8)
+
+    def test_all_ops(self, stage):
+        rng = np.random.default_rng(7)
+        n = 200
+        a = rng.integers(0, 256, n)
+        b = rng.integers(0, 256, n)
+        op = rng.integers(0, 4, n)
+        res = simulate_trace(stage.netlist, stage.encoder(a, b, op))
+        got = decode_word(res.output_values, 0, 8)
+        expect = np.select(
+            [op == 0, op == 1, op == 2, op == 3],
+            [(a + b) % 256, a & b, a | b, a ^ b],
+        )
+        np.testing.assert_array_equal(got, expect)
+
+    def test_zero_flag(self, stage):
+        a = np.array([0, 10])
+        b = np.array([0, 246])  # 10 + 246 = 256 -> wraps to 0
+        op = np.array([0, 0])
+        res = simulate_trace(stage.netlist, stage.encoder(a, b, op))
+        zero_flag = res.output_values[:, 9]
+        assert zero_flag.tolist() == [1, 1]
+
+    def test_carry_out(self, stage):
+        a = np.array([0, 255])
+        b = np.array([0, 1])
+        op = np.array([0, 0])
+        res = simulate_trace(stage.netlist, stage.encoder(a, b, op))
+        assert res.output_values[1, 8] == 1
+
+
+class TestComplexALUStage:
+    @pytest.fixture(scope="class")
+    def stage(self):
+        return build_complex_alu_stage(8)
+
+    def test_multiply_and_shift(self, stage):
+        rng = np.random.default_rng(8)
+        n = 150
+        a = rng.integers(0, 256, n)
+        b = rng.integers(0, 256, n)
+        sh = rng.integers(0, 8, n)
+        op = rng.integers(0, 2, n)
+        res = simulate_trace(stage.netlist, stage.encoder(a, b, sh, op))
+        low = decode_word(res.output_values, 0, 8)
+        high = decode_word(res.output_values, 8, 8)
+        np.testing.assert_array_equal(
+            low, np.where(op == 0, (a * b) & 0xFF, a >> sh)
+        )
+        np.testing.assert_array_equal(high, (a * b) >> 8)
+
+    def test_width_must_be_power_of_two(self):
+        with pytest.raises(ValueError):
+            build_complex_alu_stage(12)
+
+
+class TestDecodeStage:
+    @pytest.fixture(scope="class")
+    def stage(self):
+        return build_decode_stage()
+
+    def test_register_one_hots(self, stage):
+        rs, rt, rd = 17, 3, 30
+        word = (rs << 21) | (rt << 16) | (rd << 11)
+        vecs = stage.encoder(np.array([0, word]))
+        res = simulate_trace(stage.netlist, vecs)
+        out = res.output_values[1]
+        # layout: 16 controls, 64 opcode lines, then 3 x 32 one-hots
+        base = 16 + 64
+        assert np.flatnonzero(out[base : base + 32]).tolist() == [rs]
+        assert np.flatnonzero(out[base + 32 : base + 64]).tolist() == [rt]
+        assert np.flatnonzero(out[base + 64 : base + 96]).tolist() == [rd]
+
+    def test_opcode_one_hot(self, stage):
+        word = 42 << 26
+        vecs = stage.encoder(np.array([0, word]))
+        res = simulate_trace(stage.netlist, vecs)
+        lines = res.output_values[1][16 : 16 + 64]
+        assert np.flatnonzero(lines).tolist() == [42]
+
+    def test_sign_extension(self, stage):
+        word = 0x8000  # imm with sign bit set
+        vecs = stage.encoder(np.array([0, word]))
+        res = simulate_trace(stage.netlist, vecs)
+        ext = res.output_values[1][-32:]
+        assert ext[15] == 1
+        assert np.all(ext[16:] == 1)  # sign-extended upper half
+        word = 0x7FFF
+        res = simulate_trace(stage.netlist, stage.encoder(np.array([0, word])))
+        ext = res.output_values[1][-32:]
+        assert np.all(ext[16:] == 0)
+
+
+class TestStageRegistry:
+    @pytest.mark.parametrize("name", STAGE_NAMES)
+    def test_get_stage_builds_and_validates(self, name):
+        stage = get_stage(name)
+        stage.netlist.validate()
+        assert stage.netlist.n_gates() > 100
+
+    def test_get_stage_caches(self):
+        assert get_stage("decode") is get_stage("decode")
+
+    def test_unknown_stage(self):
+        with pytest.raises(ValueError):
+            get_stage("writeback")
+
+    def test_relative_depths(self):
+        """ComplexALU must be the deepest stage, decode the shallowest:
+        this ordering is what differentiates the three pipe-stage
+        studies in the paper."""
+        d = get_stage("decode").netlist.logic_depth()
+        s = get_stage("simple_alu").netlist.logic_depth()
+        c = get_stage("complex_alu").netlist.logic_depth()
+        assert d < s < c

@@ -1,0 +1,173 @@
+"""Tests for Verilog round-trip and the optimisation passes."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.circuit.logicsim import simulate_trace
+from repro.circuit.netlist import Netlist
+from repro.circuit.optimize import (
+    collapse_inverter_pairs,
+    constant_propagation,
+    dead_gate_elimination,
+    optimize,
+)
+from repro.circuit.synth import build_simple_alu_stage
+from repro.circuit.verilog import VerilogError, from_verilog, to_verilog
+
+
+def equivalent(a: Netlist, b: Netlist, n_vectors: int = 64, seed: int = 0) -> bool:
+    """Random-simulation equivalence on identical input/output order."""
+    assert a.inputs == b.inputs
+    assert a.outputs == b.outputs
+    rng = np.random.default_rng(seed)
+    vecs = rng.integers(0, 2, size=(n_vectors, len(a.inputs)))
+    out_a = simulate_trace(a, vecs).output_values
+    out_b = simulate_trace(b, vecs).output_values
+    return bool(np.array_equal(out_a, out_b))
+
+
+def small_mixed_netlist():
+    nl = Netlist("mixed")
+    a = nl.add_input("a")
+    b = nl.add_input("b")
+    c = nl.add_input("c")
+    one = nl.add_gate("TIEHI", [], output="one")
+    x = nl.add_gate("AND2", [a, one], output="x")  # reduces to BUF(a)
+    y = nl.add_gate("INV", [x], output="y")
+    z = nl.add_gate("INV", [y], output="z")  # INV(INV(x))
+    w = nl.add_gate("XOR2", [z, b], output="w")
+    nl.add_gate("OR2", [b, c], output="dead")  # unreachable
+    nl.set_outputs(["w"])
+    return nl
+
+
+class TestVerilogRoundTrip:
+    def test_small_round_trip_equivalent(self):
+        nl = small_mixed_netlist()
+        back = from_verilog(to_verilog(nl))
+        assert back.inputs == nl.inputs
+        assert back.outputs == nl.outputs
+        assert equivalent(nl, back)
+
+    def test_stage_round_trip_equivalent(self):
+        stage = build_simple_alu_stage(4)
+        text = to_verilog(stage.netlist, module_name="alu4")
+        back = from_verilog(text)
+        assert back.name == "alu4"
+        assert back.n_gates() == stage.netlist.n_gates()
+        assert equivalent(stage.netlist, back, n_vectors=128)
+
+    def test_emits_primitives_and_ties(self):
+        text = to_verilog(small_mixed_netlist())
+        assert "module mixed" in text
+        assert "AND2" in text and "assign one = 1'b1;" in text
+        assert text.strip().endswith("endmodule")
+
+    def test_rejects_unknown_primitive(self):
+        bad = """
+        module m (a, y);
+          input a; output y;
+          LUT4 u1 (y, a);
+        endmodule
+        """
+        with pytest.raises(VerilogError, match="unknown primitive"):
+            from_verilog(bad)
+
+    def test_rejects_pin_count_mismatch(self):
+        bad = """
+        module m (a, y);
+          input a; output y;
+          NAND2 u1 (y, a);
+        endmodule
+        """
+        with pytest.raises(VerilogError, match="pins"):
+            from_verilog(bad)
+
+    def test_rejects_missing_module(self):
+        with pytest.raises(VerilogError, match="module"):
+            from_verilog("wire x;")
+
+    def test_rejects_behavioural_assign(self):
+        bad = """
+        module m (a, y);
+          input a; output y;
+          assign y = a & 1'b1;
+        endmodule
+        """
+        with pytest.raises(VerilogError, match="assign"):
+            from_verilog(bad)
+
+    def test_comments_stripped(self):
+        nl = small_mixed_netlist()
+        text = "// header\n" + to_verilog(nl).replace(
+            "endmodule", "/* tail */ endmodule"
+        )
+        assert equivalent(nl, from_verilog(text))
+
+
+class TestOptimizationPasses:
+    def test_constant_propagation_folds_ties(self):
+        nl = small_mixed_netlist()
+        opt = constant_propagation(nl)
+        # AND2(a, 1) must have degenerated into a BUF
+        hist = opt.gate_histogram()
+        assert hist.get("AND2", 0) == 0
+        assert equivalent(nl, opt)
+
+    def test_inverter_pair_collapsed(self):
+        nl = small_mixed_netlist()
+        opt = dead_gate_elimination(collapse_inverter_pairs(nl))
+        assert opt.gate_histogram().get("INV", 0) == 0
+        assert equivalent(nl, opt)
+
+    def test_dead_gates_removed(self):
+        nl = small_mixed_netlist()
+        opt = dead_gate_elimination(nl)
+        assert all(g.output != "dead" for g in opt.gates)
+        assert equivalent(nl, opt)
+
+    def test_full_optimize_shrinks_and_preserves(self):
+        nl = small_mixed_netlist()
+        opt = optimize(nl)
+        assert opt.n_gates() < nl.n_gates()
+        assert equivalent(nl, opt)
+        opt.validate()
+
+    def test_collapsed_pair_driving_output_gets_buffer(self):
+        nl = Netlist("outpair")
+        a = nl.add_input("a")
+        x = nl.add_gate("INV", [a], output="x")
+        y = nl.add_gate("INV", [x], output="y")
+        nl.set_outputs([y])
+        opt = optimize(nl)
+        assert opt.outputs == ["y"]
+        assert equivalent(nl, opt)
+
+    def test_optimize_is_idempotent_on_clean_netlist(self):
+        stage = build_simple_alu_stage(4)
+        once = optimize(stage.netlist)
+        twice = optimize(once)
+        assert twice.n_gates() == once.n_gates()
+
+    @given(seed=st.integers(min_value=0, max_value=5000))
+    @settings(max_examples=25, deadline=None)
+    def test_property_random_netlists_preserved(self, seed):
+        """Random small netlists with ties and inverter chains are
+        functionally preserved by the full pipeline."""
+        rng = np.random.default_rng(seed)
+        nl = Netlist("rand")
+        nets = [nl.add_input(f"i{k}") for k in range(3)]
+        nets.append(nl.add_gate("TIEHI", []))
+        nets.append(nl.add_gate("TIELO", []))
+        for k in range(10):
+            gtype = rng.choice(
+                ["INV", "BUF", "AND2", "OR2", "NAND2", "NOR2", "XOR2", "MUX2"]
+            )
+            n_in = {"INV": 1, "BUF": 1, "MUX2": 3}.get(gtype, 2)
+            ins = [nets[int(rng.integers(0, len(nets)))] for _ in range(n_in)]
+            nets.append(nl.add_gate(gtype, ins))
+        nl.set_outputs([nets[-1], nets[-2]])
+        opt = optimize(nl)
+        assert equivalent(nl, opt, n_vectors=32, seed=seed)

@@ -1,0 +1,53 @@
+"""Shared fixtures and hypothesis strategies for core tests."""
+
+import numpy as np
+import pytest
+from hypothesis import strategies as st
+
+from repro.core import PlatformConfig, SynTSProblem, ThreadParams
+from repro.errors.probability import BetaTailErrorFunction
+
+
+def small_config(n_volts=3, n_tsr=3):
+    """A reduced platform (keeps brute force tractable)."""
+    table = {1.0: 1.0, 0.86: 1.27, 0.72: 1.63, 0.65: 2.63}
+    volts = tuple(sorted(table, reverse=True))[:n_volts]
+    tsr = tuple(float(r) for r in np.linspace(0.64, 1.0, n_tsr))
+    return PlatformConfig(
+        voltages=volts,
+        tnom_table={v: table[v] for v in volts},
+        tsr_levels=tsr,
+    )
+
+
+def random_problem(rng, m=3, n_volts=3, n_tsr=3):
+    threads = tuple(
+        ThreadParams(
+            n_instructions=int(rng.integers(50, 500)),
+            cpi_base=float(rng.uniform(1.0, 1.6)),
+            err=BetaTailErrorFunction(
+                a=float(rng.uniform(1.0, 8.0)),
+                b=float(rng.uniform(1.0, 8.0)),
+                lo=float(rng.uniform(0.2, 0.5)),
+                hi=float(rng.uniform(0.8, 1.0)),
+                scale_p=float(rng.uniform(0.01, 0.8)),
+            ),
+        )
+        for _ in range(m)
+    )
+    return SynTSProblem(config=small_config(n_volts, n_tsr), threads=threads)
+
+
+@pytest.fixture
+def default_config():
+    return PlatformConfig()
+
+
+@pytest.fixture
+def tiny_problem():
+    rng = np.random.default_rng(0)
+    return random_problem(rng, m=3)
+
+
+problem_seeds = st.integers(min_value=0, max_value=100_000)
+thetas = st.floats(min_value=0.0, max_value=50.0, allow_nan=False)

@@ -1,0 +1,167 @@
+"""Tests for the leakage extension and non-barrier synchronisation."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import (
+    PlatformConfig,
+    SynTSProblem,
+    ThreadParams,
+    barrier_topology,
+    phased_topology,
+    serial_topology,
+    solve_per_core_ts,
+    solve_synts_poly,
+    solve_synts_sync,
+)
+from repro.core.model import OperatingPoint, thread_energy
+from repro.core.sync_extensions import SyncTopology
+from repro.errors.probability import ZeroErrorFunction
+
+from .conftest import random_problem
+
+
+class TestLeakageExtension:
+    def test_default_reproduces_paper_model(self):
+        """leakage = 0 must leave Eq. 4.3 untouched."""
+        th = ThreadParams(n_instructions=1000, cpi_base=1.2, err=ZeroErrorFunction())
+        pt = OperatingPoint(0.8, 0.8)
+        base = thread_energy(th, pt, PlatformConfig())
+        explicit = thread_energy(th, pt, PlatformConfig(leakage=0.0))
+        assert base == explicit
+
+    def test_leakage_adds_static_energy(self):
+        th = ThreadParams(n_instructions=1000, cpi_base=1.2, err=ZeroErrorFunction())
+        pt = OperatingPoint(0.8, 0.8)
+        cfg = PlatformConfig(leakage=0.2)
+        with_leak = thread_energy(th, pt, cfg)
+        without = thread_energy(th, pt, PlatformConfig())
+        active_time = 1000 * pt.clock_period(cfg) * 1.2
+        assert with_leak == pytest.approx(without + 0.2 * 0.8 * active_time)
+
+    def test_negative_leakage_rejected(self):
+        with pytest.raises(ValueError):
+            PlatformConfig(leakage=-0.1)
+
+    def test_tables_include_leakage(self):
+        rng = np.random.default_rng(0)
+        base = random_problem(rng, m=2)
+        leaky = SynTSProblem(
+            config=PlatformConfig(
+                voltages=base.config.voltages,
+                tnom_table=dict(base.config.tnom_table),
+                tsr_levels=base.config.tsr_levels,
+                leakage=0.3,
+            ),
+            threads=base.threads,
+        )
+        assert np.all(leaky.energy_table >= base.energy_table)
+        np.testing.assert_allclose(leaky.time_table, base.time_table)
+
+    def test_leakage_shifts_optimum_toward_speed(self):
+        """With heavy leakage, idling at low frequency wastes static
+        energy, so the energy-optimal (theta = 0) solution gets
+        faster, never slower."""
+        rng = np.random.default_rng(1)
+        base = random_problem(rng, m=3)
+        leaky = SynTSProblem(
+            config=PlatformConfig(
+                voltages=base.config.voltages,
+                tnom_table=dict(base.config.tnom_table),
+                tsr_levels=base.config.tsr_levels,
+                leakage=2.0,
+            ),
+            threads=base.threads,
+        )
+        fast = solve_synts_poly(leaky, 0.0).evaluation.texec
+        slow = solve_synts_poly(base, 0.0).evaluation.texec
+        assert fast <= slow + 1e-9
+
+    def test_restrict_tsr_preserves_leakage(self):
+        cfg = PlatformConfig(leakage=0.25).restrict_tsr([1.0])
+        assert cfg.leakage == 0.25
+
+
+class TestSyncTopology:
+    def test_factories(self):
+        assert barrier_topology(4).groups == ((0, 1, 2, 3),)
+        assert serial_topology(3).groups == ((0,), (1,), (2,))
+        assert phased_topology([2, 2]).groups == ((0, 1), (2, 3))
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SyncTopology(groups=((0, 0),))
+        with pytest.raises(ValueError):
+            SyncTopology(groups=((0, 2),))  # gap
+        with pytest.raises(ValueError):
+            SyncTopology(groups=())
+        with pytest.raises(ValueError):
+            phased_topology([0, 2])
+
+    def test_interval_time_semantics(self):
+        times = [3.0, 1.0, 4.0, 2.0]
+        assert barrier_topology(4).interval_time(times) == 4.0
+        assert serial_topology(4).interval_time(times) == 10.0
+        assert phased_topology([2, 2]).interval_time(times) == 3.0 + 4.0
+
+
+class TestSolveSync:
+    def test_barrier_matches_synts_poly(self, tiny_problem):
+        theta = 2.0
+        poly = solve_synts_poly(tiny_problem, theta)
+        sync = solve_synts_sync(
+            tiny_problem, theta, barrier_topology(tiny_problem.n_threads)
+        )
+        assert sync.cost == pytest.approx(poly.cost)
+
+    def test_serial_gain_over_per_core_vanishes(self, tiny_problem):
+        """Under a serial chain the cost separates: per-core TS is
+        already optimal (the crisp negative result of the future-work
+        extension)."""
+        theta = 2.0
+        topo = serial_topology(tiny_problem.n_threads)
+        syn = solve_synts_sync(tiny_problem, theta, topo)
+        pc = solve_per_core_ts(tiny_problem, theta)
+        pc_cost = pc.evaluation.total_energy + theta * topo.interval_time(
+            pc.evaluation.times
+        )
+        assert syn.cost == pytest.approx(pc_cost, rel=1e-9)
+
+    def test_topology_size_checked(self, tiny_problem):
+        with pytest.raises(ValueError):
+            solve_synts_sync(tiny_problem, 1.0, barrier_topology(7))
+
+    def test_negative_theta_rejected(self, tiny_problem):
+        with pytest.raises(ValueError):
+            solve_synts_sync(
+                tiny_problem, -1.0, barrier_topology(tiny_problem.n_threads)
+            )
+
+    @given(
+        seed=st.integers(min_value=0, max_value=20_000),
+        theta=st.floats(min_value=0.0, max_value=20.0, allow_nan=False),
+    )
+    @settings(max_examples=20, deadline=None)
+    def test_property_phased_cost_optimal_per_group(self, seed, theta):
+        """Phased solve must beat any uniform assignment under the
+        same topology (spot-check of group-wise optimality)."""
+        problem = random_problem(np.random.default_rng(seed), m=4)
+        topo = phased_topology([2, 2])
+        sol = solve_synts_sync(problem, theta, topo)
+        q, s = problem.config.n_voltages, problem.config.n_tsr
+        for j in range(q):
+            for k in range(s):
+                ev = problem.evaluate_indices([(j, k)] * 4)
+                uniform_cost = ev.total_energy + theta * topo.interval_time(
+                    ev.times
+                )
+                assert sol.cost <= uniform_cost + 1e-9
+
+    @given(seed=st.integers(min_value=0, max_value=20_000))
+    @settings(max_examples=20, deadline=None)
+    def test_property_serial_time_is_sum(self, seed):
+        problem = random_problem(np.random.default_rng(seed), m=3)
+        sol = solve_synts_sync(problem, 1.0, serial_topology(3))
+        assert sol.total_time == pytest.approx(sum(sol.times))

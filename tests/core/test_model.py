@@ -1,0 +1,152 @@
+"""Tests for the system model (Eqs. 4.1-4.3)."""
+
+import numpy as np
+import pytest
+
+from repro.circuit.voltage import TABLE_5_1
+from repro.core.model import (
+    DEFAULT_TSR_LEVELS,
+    Assignment,
+    OperatingPoint,
+    PlatformConfig,
+    ThreadParams,
+    effective_cpi,
+    evaluate_assignment,
+    thread_energy,
+    thread_time,
+)
+from repro.errors.probability import BetaTailErrorFunction, ZeroErrorFunction
+
+
+def make_thread(n=1000, cpi=1.2, err=None):
+    return ThreadParams(
+        n_instructions=n, cpi_base=cpi, err=err or ZeroErrorFunction()
+    )
+
+
+class TestPlatformConfig:
+    def test_defaults_match_paper(self):
+        cfg = PlatformConfig()
+        assert cfg.n_voltages == 7  # Q = 7 (Table 5.1)
+        assert cfg.n_tsr == 6  # S = 6 (Section 6.2)
+        assert cfg.c_penalty == 5.0  # Razor replay penalty
+        assert cfg.tsr_levels[0] == pytest.approx(0.64)
+        assert cfg.tsr_levels[-1] == 1.0
+
+    def test_tnom_lookup(self):
+        cfg = PlatformConfig()
+        for v, t in TABLE_5_1.items():
+            assert cfg.tnom(v) == t
+        with pytest.raises(KeyError):
+            cfg.tnom(0.5)
+
+    def test_tsr_must_include_one(self):
+        with pytest.raises(ValueError, match="highest TSR"):
+            PlatformConfig(tsr_levels=(0.7, 0.9))
+
+    def test_restrict_tsr(self):
+        cfg = PlatformConfig().restrict_tsr([1.0])
+        assert cfg.tsr_levels == (1.0,)
+        assert cfg.n_voltages == 7
+
+    def test_nominal_point(self):
+        p = PlatformConfig().nominal_point()
+        assert p.voltage == 1.0 and p.tsr == 1.0
+
+    def test_operating_points_count(self):
+        cfg = PlatformConfig()
+        assert len(cfg.operating_points()) == 42
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            PlatformConfig(c_penalty=-1)
+        with pytest.raises(ValueError):
+            PlatformConfig(alpha=0)
+        with pytest.raises(ValueError):
+            PlatformConfig(tsr_levels=(0.0, 1.0))
+
+
+class TestEquations:
+    def test_effective_cpi_eq_4_1(self):
+        assert effective_cpi(0.1, 5.0, 1.2) == pytest.approx(1.7)
+
+    def test_error_free_time(self):
+        """With zero errors Eq. 4.2 reduces to N * r * tnom * CPI."""
+        cfg = PlatformConfig()
+        th = make_thread(n=1000, cpi=1.5)
+        pt = OperatingPoint(voltage=0.8, tsr=0.64)
+        expected = 1000 * 0.64 * 1.39 * 1.5
+        assert thread_time(th, pt, cfg) == pytest.approx(expected)
+
+    def test_error_penalty_increases_time_and_energy(self):
+        cfg = PlatformConfig()
+        err = BetaTailErrorFunction(a=2, b=2, lo=0.3, hi=1.0, scale_p=0.5)
+        noisy = make_thread(err=err)
+        clean = make_thread()
+        pt = OperatingPoint(voltage=1.0, tsr=0.64)
+        assert thread_time(noisy, pt, cfg) > thread_time(clean, pt, cfg)
+        assert thread_energy(noisy, pt, cfg) > thread_energy(clean, pt, cfg)
+
+    def test_energy_scales_with_v_squared(self):
+        cfg = PlatformConfig()
+        th = make_thread()
+        hi = thread_energy(th, OperatingPoint(1.0, 1.0), cfg)
+        lo = thread_energy(th, OperatingPoint(0.8, 1.0), cfg)
+        assert lo / hi == pytest.approx(0.8**2)
+
+    def test_energy_independent_of_tsr_when_error_free(self):
+        """Eq. 4.3 has no direct clock-period term: faster clock at the
+        same voltage costs the same energy unless errors appear."""
+        cfg = PlatformConfig()
+        th = make_thread()
+        e1 = thread_energy(th, OperatingPoint(1.0, 1.0), cfg)
+        e2 = thread_energy(th, OperatingPoint(1.0, 0.64), cfg)
+        assert e1 == pytest.approx(e2)
+
+    def test_clock_period_definition(self):
+        cfg = PlatformConfig()
+        pt = OperatingPoint(voltage=0.72, tsr=0.784)
+        assert pt.clock_period(cfg) == pytest.approx(0.784 * 1.63)
+
+
+class TestEvaluation:
+    def test_texec_is_max(self):
+        cfg = PlatformConfig()
+        threads = [make_thread(n=100), make_thread(n=300)]
+        assign = Assignment(
+            points=(OperatingPoint(1.0, 1.0), OperatingPoint(1.0, 1.0))
+        )
+        ev = evaluate_assignment(threads, assign, cfg)
+        assert ev.texec == pytest.approx(max(ev.times))
+        assert ev.times[1] > ev.times[0]
+
+    def test_cost_eq_4_4(self):
+        cfg = PlatformConfig()
+        threads = [make_thread()]
+        assign = Assignment(points=(OperatingPoint(1.0, 1.0),))
+        ev = evaluate_assignment(threads, assign, cfg)
+        assert ev.cost(2.0) == pytest.approx(ev.total_energy + 2.0 * ev.texec)
+
+    def test_edp(self):
+        cfg = PlatformConfig()
+        threads = [make_thread()]
+        assign = Assignment(points=(OperatingPoint(1.0, 1.0),))
+        ev = evaluate_assignment(threads, assign, cfg)
+        assert ev.edp == pytest.approx(ev.total_energy * ev.texec)
+
+    def test_mismatched_lengths_rejected(self):
+        cfg = PlatformConfig()
+        with pytest.raises(ValueError):
+            evaluate_assignment(
+                [make_thread()],
+                Assignment(
+                    points=(OperatingPoint(1.0, 1.0), OperatingPoint(1.0, 1.0))
+                ),
+                cfg,
+            )
+
+    def test_thread_params_validation(self):
+        with pytest.raises(ValueError):
+            ThreadParams(n_instructions=0, cpi_base=1.0, err=ZeroErrorFunction())
+        with pytest.raises(ValueError):
+            ThreadParams(n_instructions=10, cpi_base=-1.0, err=ZeroErrorFunction())

@@ -1,0 +1,122 @@
+"""Exactness chain: SynTS-Poly == brute force == SynTS-MILP.
+
+This is the reproduction's load-bearing property test: Lemma 4.2.1
+(optimality of Algorithm 1) and the equivalence of the MILP
+formulation (Eqs. 4.5-4.10) are checked on randomised instances.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import (
+    SynTSProblem,
+    solve_synts_brute,
+    solve_synts_milp,
+    solve_synts_poly,
+)
+
+from .conftest import random_problem
+
+
+class TestPolyBasics:
+    def test_solution_structure(self, tiny_problem):
+        sol = solve_synts_poly(tiny_problem, theta=1.0)
+        assert len(sol.indices) == tiny_problem.n_threads
+        for j, k in sol.indices:
+            assert 0 <= j < tiny_problem.config.n_voltages
+            assert 0 <= k < tiny_problem.config.n_tsr
+        assert sol.cost == pytest.approx(sol.evaluation.cost(1.0))
+
+    def test_negative_theta_rejected(self, tiny_problem):
+        with pytest.raises(ValueError):
+            solve_synts_poly(tiny_problem, theta=-1.0)
+
+    def test_critical_thread_attains_texec(self, tiny_problem):
+        sol = solve_synts_poly(tiny_problem, theta=2.0)
+        times = sol.evaluation.times
+        assert max(times) == pytest.approx(sol.evaluation.texec)
+
+    def test_theta_zero_minimises_energy_only(self, tiny_problem):
+        """At theta = 0 every thread takes its global min-energy
+        configuration (time is free)."""
+        sol = solve_synts_poly(tiny_problem, theta=0.0)
+        e = tiny_problem.energy_table.reshape(tiny_problem.n_threads, -1)
+        for i in range(tiny_problem.n_threads):
+            j, k = sol.indices[i]
+            flat = j * tiny_problem.config.n_tsr + k
+            assert e[i, flat] == pytest.approx(float(e[i].min()))
+
+    def test_large_theta_minimises_time(self, tiny_problem):
+        """As theta -> inf the solution approaches the min-makespan
+        assignment."""
+        sol = solve_synts_poly(tiny_problem, theta=1e9)
+        t = tiny_problem.time_table.reshape(tiny_problem.n_threads, -1)
+        min_makespan = max(float(t[i].min()) for i in range(tiny_problem.n_threads))
+        assert sol.evaluation.texec == pytest.approx(min_makespan)
+
+    def test_cost_monotone_in_theta(self, tiny_problem):
+        costs = [
+            solve_synts_poly(tiny_problem, th).cost for th in (0.0, 1.0, 5.0, 25.0)
+        ]
+        assert all(a <= b + 1e-9 for a, b in zip(costs, costs[1:]))
+
+
+class TestExactnessChain:
+    @given(
+        seed=st.integers(min_value=0, max_value=50_000),
+        theta=st.floats(min_value=0.0, max_value=30.0, allow_nan=False),
+        m=st.integers(min_value=1, max_value=3),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_poly_equals_brute(self, seed, theta, m):
+        """Lemma 4.2.1 on random instances."""
+        problem = random_problem(np.random.default_rng(seed), m=m)
+        poly = solve_synts_poly(problem, theta)
+        brute = solve_synts_brute(problem, theta)
+        assert poly.cost == pytest.approx(brute.cost, rel=1e-9)
+
+    @given(
+        seed=st.integers(min_value=0, max_value=50_000),
+        theta=st.floats(min_value=0.0, max_value=30.0, allow_nan=False),
+    )
+    @settings(max_examples=15, deadline=None)
+    def test_milp_equals_poly(self, seed, theta):
+        """Eqs. 4.5-4.10 solve to the same optimum as Algorithm 1."""
+        problem = random_problem(np.random.default_rng(seed), m=3)
+        poly = solve_synts_poly(problem, theta)
+        milp = solve_synts_milp(problem, theta)
+        assert milp.cost == pytest.approx(poly.cost, rel=1e-6)
+
+    def test_full_platform_poly_equals_milp(self):
+        """One full-size instance (M=4, Q=7, S=6) through both routes."""
+        from repro.core import interval_problems
+        from repro.workloads import build_benchmark
+
+        problem = interval_problems(build_benchmark("radix"), "decode")[0]
+        theta = problem.equal_weight_theta()
+        poly = solve_synts_poly(problem, theta)
+        milp = solve_synts_milp(problem, theta)
+        assert milp.cost == pytest.approx(poly.cost, rel=1e-6)
+
+    def test_brute_budget_guard(self):
+        problem = random_problem(np.random.default_rng(1), m=3)
+        with pytest.raises(ValueError, match="budget"):
+            solve_synts_brute(problem, 1.0, max_assignments=10)
+
+
+class TestSolutionDominance:
+    @given(seed=st.integers(min_value=0, max_value=20_000))
+    @settings(max_examples=30, deadline=None)
+    def test_poly_never_worse_than_uniform_assignments(self, seed):
+        """The optimum must beat every uniform (all threads same
+        config) assignment."""
+        problem = random_problem(np.random.default_rng(seed), m=3)
+        theta = 3.0
+        sol = solve_synts_poly(problem, theta)
+        q, s = problem.config.n_voltages, problem.config.n_tsr
+        for j in range(q):
+            for k in range(s):
+                ev = problem.evaluate_indices([(j, k)] * problem.n_threads)
+                assert sol.cost <= ev.cost(theta) + 1e-9

@@ -1,0 +1,106 @@
+"""Tests for isotonic regression (PAVA) and Beta-tail fitting."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors.fitting import (
+    fit_beta_tail,
+    isotonic_nondecreasing,
+    isotonic_nonincreasing,
+)
+
+
+class TestPAVA:
+    def test_already_monotone_unchanged(self):
+        y = [1.0, 2.0, 3.0]
+        np.testing.assert_allclose(isotonic_nondecreasing(y), y)
+
+    def test_single_violation_pooled(self):
+        out = isotonic_nondecreasing([2.0, 1.0])
+        np.testing.assert_allclose(out, [1.5, 1.5])
+
+    def test_weighted_pooling(self):
+        out = isotonic_nondecreasing([2.0, 1.0], weights=[3.0, 1.0])
+        np.testing.assert_allclose(out, [1.75, 1.75])
+
+    def test_constant_input(self):
+        out = isotonic_nondecreasing([5.0, 5.0, 5.0])
+        np.testing.assert_allclose(out, [5.0, 5.0, 5.0])
+
+    def test_nonincreasing_variant(self):
+        out = isotonic_nonincreasing([0.1, 0.3, 0.05])
+        assert all(a >= b - 1e-12 for a, b in zip(out, out[1:]))
+
+    def test_rejects_bad_weights(self):
+        with pytest.raises(ValueError):
+            isotonic_nondecreasing([1.0, 2.0], weights=[1.0, 0.0])
+
+    def test_rejects_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            isotonic_nondecreasing([1.0, 2.0], weights=[1.0])
+
+    @given(
+        st.lists(
+            st.floats(min_value=-10, max_value=10, allow_nan=False),
+            min_size=1,
+            max_size=30,
+        )
+    )
+    @settings(max_examples=80, deadline=None)
+    def test_property_output_monotone(self, values):
+        out = isotonic_nondecreasing(values)
+        assert all(a <= b + 1e-9 for a, b in zip(out, out[1:]))
+
+    @given(
+        st.lists(
+            st.floats(min_value=-5, max_value=5, allow_nan=False),
+            min_size=1,
+            max_size=20,
+        )
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_property_mean_preserved(self, values):
+        """PAVA preserves the (equal-weight) mean of the sequence."""
+        out = isotonic_nondecreasing(values)
+        assert np.mean(out) == pytest.approx(np.mean(values), abs=1e-9)
+
+    @given(
+        st.lists(
+            st.floats(min_value=0, max_value=1, allow_nan=False),
+            min_size=2,
+            max_size=20,
+        )
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_property_projection_is_idempotent(self, values):
+        once = isotonic_nondecreasing(values)
+        twice = isotonic_nondecreasing(once)
+        np.testing.assert_allclose(twice, once, atol=1e-12)
+
+
+class TestBetaFit:
+    def test_recovers_shape_roughly(self):
+        rng = np.random.default_rng(7)
+        true_a, true_b = 2.5, 6.0
+        samples = 0.3 + 0.6 * rng.beta(true_a, true_b, size=5000)
+        a, b, lo, hi = fit_beta_tail(samples)
+        # the fitted survival must track the empirical tail in
+        # *delay* space (the quantity err(r) consumes), regardless of
+        # how (a, b, lo, hi) trade off internally
+        from scipy.stats import beta as beta_dist
+
+        grid = np.linspace(0.3, 0.9, 25)
+        fitted_sf = beta_dist.sf((grid - lo) / (hi - lo), a, b)
+        empirical_sf = np.array([(samples > g).mean() for g in grid])
+        assert np.max(np.abs(fitted_sf - empirical_sf)) < 0.05
+        assert lo <= samples.min() and hi >= samples.max() - 1e-9
+
+    def test_needs_enough_samples(self):
+        with pytest.raises(ValueError):
+            fit_beta_tail([0.5] * 5)
+
+    def test_degenerate_support_rejected(self):
+        with pytest.raises(ValueError):
+            fit_beta_tail(np.full(20, 0.5), lo=0.5, hi=0.5)

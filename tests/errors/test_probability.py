@@ -1,0 +1,133 @@
+"""Tests for error-probability function families."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors.probability import (
+    BetaTailErrorFunction,
+    EmpiricalErrorFunction,
+    TabulatedErrorFunction,
+    ZeroErrorFunction,
+    check_monotone_nonincreasing,
+)
+
+RATIOS = np.linspace(0.5, 1.0, 21)
+
+
+class TestBetaTail:
+    def test_bounds(self):
+        f = BetaTailErrorFunction(a=2.0, b=5.0, lo=0.4, hi=1.0, scale_p=0.3)
+        for r in RATIOS:
+            assert 0.0 <= f(float(r)) <= 0.3 + 1e-12
+
+    def test_monotone(self):
+        f = BetaTailErrorFunction(a=2.0, b=5.0, lo=0.4, hi=1.0, scale_p=0.5)
+        assert check_monotone_nonincreasing(f, RATIOS)
+
+    def test_zero_beyond_support(self):
+        f = BetaTailErrorFunction(a=2.0, b=5.0, lo=0.4, hi=0.9)
+        assert f(0.95) == 0.0
+        assert f(1.0) == 0.0
+
+    def test_saturates_below_support(self):
+        f = BetaTailErrorFunction(a=2.0, b=5.0, lo=0.4, hi=0.9, scale_p=0.7)
+        assert f(0.3) == pytest.approx(0.7)
+
+    def test_vectorised_call(self):
+        f = BetaTailErrorFunction(a=2.0, b=5.0)
+        out = f(RATIOS)
+        assert out.shape == RATIOS.shape
+
+    def test_invalid_params_rejected(self):
+        with pytest.raises(ValueError):
+            BetaTailErrorFunction(a=-1.0, b=2.0)
+        with pytest.raises(ValueError):
+            BetaTailErrorFunction(a=1.0, b=2.0, lo=0.9, hi=0.5)
+        with pytest.raises(ValueError):
+            BetaTailErrorFunction(a=1.0, b=2.0, scale_p=0.0)
+        with pytest.raises(ValueError):
+            BetaTailErrorFunction(a=1.0, b=2.0, scale_p=1.5)
+
+    def test_sample_delays_match_tail(self):
+        """Empirical tail of drawn samples must match the analytic
+        survival function (the self-consistency the online estimator
+        depends on)."""
+        f = BetaTailErrorFunction(a=3.0, b=6.0, lo=0.4, hi=1.0, scale_p=0.6)
+        rng = np.random.default_rng(3)
+        d = f.sample_delays(200_000, rng)
+        for r in (0.55, 0.7, 0.85):
+            assert np.mean(d > r) == pytest.approx(float(f(r)), abs=5e-3)
+
+    @given(
+        a=st.floats(min_value=0.5, max_value=10),
+        b=st.floats(min_value=0.5, max_value=10),
+        scale=st.floats(min_value=0.01, max_value=1.0),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_property_monotone_for_any_shape(self, a, b, scale):
+        f = BetaTailErrorFunction(a=a, b=b, lo=0.3, hi=1.0, scale_p=scale)
+        assert check_monotone_nonincreasing(f, RATIOS)
+
+
+class TestTabulated:
+    def test_interpolates(self):
+        f = TabulatedErrorFunction([0.6, 0.8, 1.0], [0.4, 0.1, 0.0])
+        assert f(0.7) == pytest.approx(0.25)
+        assert f(0.8) == pytest.approx(0.1)
+
+    def test_clamps_outside_range(self):
+        f = TabulatedErrorFunction([0.6, 1.0], [0.4, 0.0])
+        assert f(0.5) == pytest.approx(0.4)
+        assert f(1.1) == pytest.approx(0.0)
+
+    def test_rejects_non_monotone_without_projection(self):
+        with pytest.raises(ValueError, match="non-increasing"):
+            TabulatedErrorFunction([0.6, 0.8, 1.0], [0.1, 0.3, 0.0])
+
+    def test_projection_restores_monotonicity(self):
+        f = TabulatedErrorFunction(
+            [0.6, 0.8, 1.0], [0.1, 0.3, 0.0], project=True
+        )
+        assert check_monotone_nonincreasing(f, [0.6, 0.7, 0.8, 0.9, 1.0])
+
+    def test_rejects_bad_probabilities(self):
+        with pytest.raises(ValueError):
+            TabulatedErrorFunction([0.6, 1.0], [1.4, 0.0])
+
+    def test_rejects_duplicate_ratios(self):
+        with pytest.raises(ValueError):
+            TabulatedErrorFunction([0.6, 0.6], [0.1, 0.1])
+
+    def test_accessors(self):
+        f = TabulatedErrorFunction([1.0, 0.6], [0.0, 0.4])
+        np.testing.assert_array_equal(f.ratios, [0.6, 1.0])
+        np.testing.assert_array_equal(f.probs, [0.4, 0.0])
+
+
+class TestEmpirical:
+    def test_exact_tail(self):
+        f = EmpiricalErrorFunction([0.2, 0.4, 0.6, 0.8])
+        assert f(0.5) == pytest.approx(0.5)
+        assert f(0.8) == pytest.approx(0.0)
+        assert f(0.1) == pytest.approx(1.0)
+
+    def test_monotone(self):
+        rng = np.random.default_rng(0)
+        f = EmpiricalErrorFunction(rng.random(500))
+        assert check_monotone_nonincreasing(f, RATIOS)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            EmpiricalErrorFunction([])
+
+    def test_n_samples(self):
+        assert EmpiricalErrorFunction([0.1, 0.2]).n_samples == 2
+
+
+class TestZero:
+    def test_always_zero(self):
+        f = ZeroErrorFunction()
+        assert f(0.1) == 0.0
+        assert np.all(f(RATIOS) == 0.0)

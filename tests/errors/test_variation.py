@@ -1,0 +1,96 @@
+"""Tests for the process-variation model."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import interval_problems, solve_per_core_ts, solve_synts_poly
+from repro.errors.probability import BetaTailErrorFunction
+from repro.errors.variation import (
+    ScaledErrorFunction,
+    VariationModel,
+    apply_variation,
+)
+from repro.workloads import build_benchmark
+
+
+def base_fn():
+    return BetaTailErrorFunction(a=5.5, b=4.0, lo=0.4, hi=0.99, scale_p=0.2)
+
+
+class TestScaledErrorFunction:
+    def test_unit_factor_is_identity(self):
+        f = ScaledErrorFunction(base=base_fn(), speed_factor=1.0)
+        for r in (0.6, 0.8, 1.0):
+            assert f(r) == pytest.approx(float(base_fn()(r)))
+
+    def test_slow_core_errs_more(self):
+        slow = ScaledErrorFunction(base=base_fn(), speed_factor=1.1)
+        fast = ScaledErrorFunction(base=base_fn(), speed_factor=0.9)
+        for r in (0.6, 0.7, 0.8):
+            assert slow(r) >= base_fn()(r) >= fast(r)
+
+    def test_invalid_factor(self):
+        with pytest.raises(ValueError):
+            ScaledErrorFunction(base=base_fn(), speed_factor=0.0)
+
+    @given(k=st.floats(min_value=0.8, max_value=1.25))
+    @settings(max_examples=25, deadline=None)
+    def test_property_monotone_nonincreasing(self, k):
+        f = ScaledErrorFunction(base=base_fn(), speed_factor=k)
+        grid = np.linspace(0.5, 1.0, 15)
+        curve = f.curve(grid)
+        assert np.all((curve >= 0) & (curve <= 1))
+        assert all(a >= b - 1e-12 for a, b in zip(curve, curve[1:]))
+
+
+class TestVariationModel:
+    def test_zero_sigma_is_nominal(self):
+        rng = np.random.default_rng(0)
+        np.testing.assert_array_equal(
+            VariationModel(0.0).core_factors(4, rng), np.ones(4)
+        )
+
+    def test_factors_positive_and_centred(self):
+        rng = np.random.default_rng(1)
+        factors = VariationModel(0.05).core_factors(10_000, rng)
+        assert np.all(factors > 0)
+        assert np.exp(np.mean(np.log(factors))) == pytest.approx(1.0, abs=0.01)
+
+    def test_negative_sigma_rejected(self):
+        with pytest.raises(ValueError):
+            VariationModel(-0.1)
+
+
+class TestApplyVariation:
+    def test_wraps_every_thread(self):
+        problem = interval_problems(build_benchmark("ocean"), "decode")[0]
+        varied = apply_variation(problem, [1.0, 1.05, 0.95, 1.0])
+        assert varied.n_threads == problem.n_threads
+        for t in varied.threads:
+            assert isinstance(t.err, ScaledErrorFunction)
+
+    def test_factor_count_checked(self):
+        problem = interval_problems(build_benchmark("ocean"), "decode")[0]
+        with pytest.raises(ValueError):
+            apply_variation(problem, [1.0, 1.0])
+
+    def test_variation_helps_synts_on_homogeneous_workload(self):
+        """Core-speed spread re-introduces heterogeneity SynTS can
+        harvest, even on a workload the paper excluded as homogeneous."""
+        problem = interval_problems(build_benchmark("ocean"), "complex_alu")[0]
+        rng = np.random.default_rng(4)
+
+        def mean_gain(sigma, reps=4):
+            gains = []
+            for _ in range(reps):
+                factors = VariationModel(sigma).core_factors(4, rng)
+                varied = apply_variation(problem, factors)
+                theta = varied.equal_weight_theta()
+                syn = solve_synts_poly(varied, theta)
+                pc = solve_per_core_ts(varied, theta)
+                gains.append(1 - syn.evaluation.edp / pc.evaluation.edp)
+            return float(np.mean(gains))
+
+        assert mean_gain(0.06) > mean_gain(0.0)

@@ -1,0 +1,96 @@
+"""Tests for the ablation studies."""
+
+import pytest
+
+from repro.experiments.ablations import (
+    ABLATIONS,
+    heterogeneity,
+    leakage,
+    replay_penalty,
+    sampling_budget,
+    sync_topology,
+    voltage_levels,
+)
+
+
+class TestRegistry:
+    def test_seven_ablations(self):
+        assert len(ABLATIONS) == 7
+
+
+class TestProcessVariation:
+    def test_variation_restores_synergy(self):
+        from repro.experiments.ablations import process_variation
+
+        result = process_variation()
+        gains = [row[1] for row in result.rows]
+        assert gains[-1] > gains[0]  # sigma 0.06 beats sigma 0
+
+
+class TestSamplingBudget:
+    def test_estimate_error_falls_with_budget(self):
+        result = sampling_budget()
+        errors = [row[2] for row in result.rows]
+        assert errors[-1] < errors[0]
+
+    def test_online_overhead_stays_bounded(self):
+        result = sampling_budget()
+        for _n, ratio, _e in result.rows:
+            assert 0.95 <= ratio <= 1.3
+
+
+class TestHeterogeneity:
+    def test_heterogeneity_amplifies_gain(self):
+        result = heterogeneity()
+        gains = {row[0]: row[1] for row in result.rows}
+        assert gains["4x"] > gains["1x"]
+
+    def test_all_gains_nonnegative(self):
+        result = heterogeneity()
+        for row in result.rows:
+            assert row[1] >= -1e-9
+
+
+class TestReplayPenalty:
+    def test_gain_positive_at_paper_penalty(self):
+        result = replay_penalty()
+        gains = {row[0]: row[1] for row in result.rows}
+        assert gains[5.0] > 0.1
+
+
+class TestVoltageLevels:
+    def test_gain_grows_with_levels(self):
+        result = voltage_levels()
+        gains = [row[1] for row in result.rows]
+        assert gains[-1] > gains[0]
+        assert all(b >= a - 0.02 for a, b in zip(gains, gains[1:]))
+
+
+class TestLeakage:
+    def test_gain_positive_under_leakage(self):
+        result = leakage()
+        for row in result.rows:
+            assert row[1] > 0.0
+
+    def test_energy_rises_with_leakage(self):
+        result = leakage()
+        energies = [row[2] for row in result.rows]
+        assert energies[-1] > energies[0]
+
+
+class TestSyncTopology:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return sync_topology()
+
+    def test_serial_gain_zero(self, result):
+        gains = {row[0]: row[1] for row in result.rows}
+        assert gains["serial chain"] == pytest.approx(0.0, abs=1e-6)
+
+    def test_barrier_gain_largest(self, result):
+        gains = [row[1] for row in result.rows]
+        assert gains[0] == max(gains)
+
+    def test_serial_slower_than_barrier(self, result):
+        times = [row[2] for row in result.rows]
+        assert times[-1] > times[0]

@@ -1,0 +1,35 @@
+"""Tests closing the Hamming -> error-probability inference."""
+
+import numpy as np
+import pytest
+
+from repro.gpgpu import characterize_lane_errors
+
+
+class TestLaneErrorCurves:
+    @pytest.fixture(scope="class")
+    def curves(self):
+        return characterize_lane_errors(
+            "matrix_mult", n_lanes=4, n_instructions=4000, seed=2
+        )
+
+    def test_one_curve_per_lane(self, curves):
+        assert curves.n_lanes == 4
+        assert curves.curves.shape == (4, 4)
+
+    def test_curves_are_valid_probabilities(self, curves):
+        assert np.all((curves.curves >= 0) & (curves.curves <= 1))
+
+    def test_curves_monotone_in_ratio(self, curves):
+        for row in curves.curves:
+            assert all(a >= b - 1e-12 for a, b in zip(row, row[1:]))
+
+    def test_homogeneity_through_the_circuit(self, curves):
+        """The paper's inference: similar output statistics -> similar
+        path-sensitisation error curves.  The spread across lanes must
+        stay far below the ~4x CMP thread heterogeneity."""
+        assert curves.max_spread() < 2.0
+
+    def test_unknown_kernel_rejected(self):
+        with pytest.raises(KeyError):
+            characterize_lane_errors("nonexistent")

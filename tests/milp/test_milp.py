@@ -1,0 +1,153 @@
+"""Tests for the branch-and-bound MILP solver."""
+
+import itertools
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.milp import MILP, MILPStatus, Sense, solve_milp
+
+
+class TestModelBuilder:
+    def test_variable_bookkeeping(self):
+        m = MILP()
+        x = m.add_binary("x")
+        y = m.add_variable("y", lb=0, ub=5)
+        assert m.n_variables == 2
+        assert m.integer_indices == (x,)
+        assert m.variable_name(y) == "y"
+
+    def test_bad_bounds_rejected(self):
+        m = MILP()
+        with pytest.raises(ValueError):
+            m.add_variable("x", lb=2.0, ub=1.0)
+
+    def test_unknown_variable_in_constraint(self):
+        m = MILP()
+        m.add_binary("x")
+        with pytest.raises(IndexError):
+            m.add_constraint({5: 1.0}, Sense.LE, 1.0)
+
+    def test_unknown_variable_in_objective(self):
+        m = MILP()
+        with pytest.raises(IndexError):
+            m.set_objective({0: 1.0})
+
+    def test_check_feasible(self):
+        m = MILP()
+        x = m.add_binary("x")
+        m.add_constraint({x: 1.0}, Sense.GE, 1.0)
+        assert m.check_feasible([1.0])
+        assert not m.check_feasible([0.0])
+        assert not m.check_feasible([0.5])  # integrality
+
+
+class TestSolver:
+    def test_simple_lp_no_integers(self):
+        # min -x - y s.t. x + y <= 1, x,y in [0,1]
+        m = MILP()
+        x = m.add_variable("x", 0, 1)
+        y = m.add_variable("y", 0, 1)
+        m.add_constraint({x: 1, y: 1}, Sense.LE, 1.0)
+        m.set_objective({x: -1, y: -1})
+        res = solve_milp(m)
+        assert res.is_optimal
+        assert res.objective == pytest.approx(-1.0)
+
+    def test_knapsack(self):
+        # max 10x0 + 6x1 + 4x2 s.t. 5x0 + 4x1 + 3x2 <= 9  -> x0=x1=1
+        values = [10, 6, 4]
+        weights = [5, 4, 3]
+        m = MILP()
+        xs = [m.add_binary(f"x{i}") for i in range(3)]
+        m.add_constraint({x: w for x, w in zip(xs, weights)}, Sense.LE, 9)
+        m.set_objective({x: -v for x, v in zip(xs, values)})
+        res = solve_milp(m)
+        assert res.is_optimal
+        assert res.objective == pytest.approx(-16.0)
+        assert res.x[xs[0]] == 1 and res.x[xs[1]] == 1 and res.x[xs[2]] == 0
+
+    def test_equality_constraints(self):
+        # assignment: each of 2 agents picks exactly one of 2 slots
+        cost = np.array([[1.0, 9.0], [9.0, 2.0]])
+        m = MILP()
+        x = {
+            (i, j): m.add_binary(f"x{i}{j}")
+            for i in range(2)
+            for j in range(2)
+        }
+        for i in range(2):
+            m.add_constraint({x[(i, j)]: 1.0 for j in range(2)}, Sense.EQ, 1.0)
+        for j in range(2):
+            m.add_constraint({x[(i, j)]: 1.0 for i in range(2)}, Sense.LE, 1.0)
+        m.set_objective({x[k]: float(cost[k]) for k in x})
+        res = solve_milp(m)
+        assert res.is_optimal
+        assert res.objective == pytest.approx(3.0)
+
+    def test_infeasible(self):
+        m = MILP()
+        x = m.add_binary("x")
+        m.add_constraint({x: 1.0}, Sense.GE, 2.0)
+        m.set_objective({x: 1.0})
+        res = solve_milp(m)
+        assert res.status is MILPStatus.INFEASIBLE
+
+    def test_mixed_integer_continuous(self):
+        # min y s.t. y >= 3.7 - x, y >= x, x binary -> x=1, y=2.7
+        m = MILP()
+        x = m.add_binary("x")
+        y = m.add_variable("y", lb=0)
+        m.add_constraint({y: 1.0, x: 1.0}, Sense.GE, 3.7)
+        m.add_constraint({y: 1.0, x: -1.0}, Sense.GE, 0.0)
+        m.set_objective({y: 1.0})
+        res = solve_milp(m)
+        assert res.is_optimal
+        assert res.objective == pytest.approx(2.7)
+        assert res.x[x] == pytest.approx(1.0)
+
+
+def brute_force_binary(m: MILP):
+    """Enumerate all binary combinations (continuous vars must be
+    absent) and return the best feasible objective."""
+    n = m.n_variables
+    assert set(m.integer_indices) == set(range(n))
+    best = None
+    for combo in itertools.product([0.0, 1.0], repeat=n):
+        if m.check_feasible(combo):
+            val = m.objective_value(combo)
+            if best is None or val < best:
+                best = val
+    return best
+
+
+@given(
+    seed=st.integers(min_value=0, max_value=10_000),
+    n_vars=st.integers(min_value=2, max_value=6),
+    n_cons=st.integers(min_value=1, max_value=4),
+)
+@settings(max_examples=40, deadline=None)
+def test_property_bb_matches_enumeration(seed, n_vars, n_cons):
+    """Branch-and-bound equals brute-force on random binary programs."""
+    rng = np.random.default_rng(seed)
+    m = MILP()
+    xs = [m.add_binary(f"x{i}") for i in range(n_vars)]
+    for _ in range(n_cons):
+        coeffs = {
+            xs[i]: float(rng.integers(-4, 5))
+            for i in range(n_vars)
+            if rng.random() < 0.8
+        }
+        if not coeffs:
+            continue
+        m.add_constraint(coeffs, Sense.LE, float(rng.integers(0, 6)))
+    m.set_objective({xs[i]: float(rng.integers(-5, 6)) for i in range(n_vars)})
+    res = solve_milp(m)
+    expected = brute_force_binary(m)
+    if expected is None:
+        assert res.status is MILPStatus.INFEASIBLE
+    else:
+        assert res.is_optimal
+        assert res.objective == pytest.approx(expected, abs=1e-6)

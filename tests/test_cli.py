@@ -1,0 +1,39 @@
+"""Tests for the ``python -m repro`` command-line interface."""
+
+import pytest
+
+from repro.__main__ import main
+
+
+class TestCLI:
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "fig_6_18" in out and "heterogeneity" in out
+
+    def test_run_single(self, capsys):
+        assert main(["run", "fig_4_7"]) == 0
+        out = capsys.readouterr().out
+        assert "sampling" in out.lower()
+
+    def test_run_dict_result(self, capsys):
+        assert main(["run", "fig_6_17"]) == 0
+        out = capsys.readouterr().out
+        assert "radix" in out and "fmm" in out
+
+    def test_run_unknown(self, capsys):
+        assert main(["run", "fig_9_99"]) == 2
+        assert "unknown experiment" in capsys.readouterr().err
+
+    def test_ablation(self, capsys):
+        assert main(["ablation", "sync_topology"]) == 0
+        out = capsys.readouterr().out
+        assert "serial" in out
+
+    def test_ablation_unknown(self, capsys):
+        assert main(["ablation", "nope"]) == 2
+        assert "unknown ablation" in capsys.readouterr().err
+
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            main([])

@@ -1,0 +1,115 @@
+"""Tests for operand-trace generation and cross-layer characterisation."""
+
+import numpy as np
+import pytest
+
+from repro.workloads.characterization import (
+    RADIX_LIKE_PROFILES,
+    characterize_threads,
+)
+from repro.workloads.traces import OperandProfile, TraceGenerator
+
+
+class TestOperandProfile:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            OperandProfile(effective_bits=8, locality=1.0, opcode_entropy=0.5)
+        with pytest.raises(ValueError):
+            OperandProfile(effective_bits=8, locality=0.5, opcode_entropy=2.0)
+        with pytest.raises(ValueError):
+            OperandProfile(effective_bits=0, locality=0.5, opcode_entropy=0.5)
+
+
+class TestTraceGenerator:
+    def test_deterministic_given_seed(self):
+        prof = OperandProfile(effective_bits=10, locality=0.3, opcode_entropy=0.5)
+        a = TraceGenerator(prof, seed=1).simple_alu_operands(50)
+        b = TraceGenerator(prof, seed=1).simple_alu_operands(50)
+        np.testing.assert_array_equal(a["a_vals"], b["a_vals"])
+
+    def test_threads_decorrelated_by_salt(self):
+        p1 = OperandProfile(effective_bits=10, locality=0.3, opcode_entropy=0.5, seed_salt=0)
+        p2 = OperandProfile(effective_bits=10, locality=0.3, opcode_entropy=0.5, seed_salt=1)
+        a = TraceGenerator(p1, seed=1).simple_alu_operands(50)
+        b = TraceGenerator(p2, seed=1).simple_alu_operands(50)
+        assert not np.array_equal(a["a_vals"], b["a_vals"])
+
+    def test_effective_bits_caps_magnitude(self):
+        prof = OperandProfile(effective_bits=6, locality=0.0, opcode_entropy=1.0)
+        vals = TraceGenerator(prof, seed=2).simple_alu_operands(200)["a_vals"]
+        assert vals.max() < 64
+
+    def test_locality_reduces_toggling(self):
+        lo = OperandProfile(effective_bits=12, locality=0.9, opcode_entropy=0.2)
+        hi = OperandProfile(effective_bits=12, locality=0.0, opcode_entropy=1.0)
+        v_lo = TraceGenerator(lo, seed=3).simple_alu_operands(500)["a_vals"]
+        v_hi = TraceGenerator(hi, seed=3).simple_alu_operands(500)["a_vals"]
+
+        def toggles(v):
+            x = np.bitwise_xor(v[1:], v[:-1])
+            return sum(bin(int(t)).count("1") for t in x)
+
+        assert toggles(v_lo) < toggles(v_hi)
+
+    def test_decode_words_are_32bit(self):
+        prof = OperandProfile(effective_bits=10, locality=0.2, opcode_entropy=0.7)
+        words = TraceGenerator(prof, seed=4).decode_operands(100)["instruction_words"]
+        assert words.max() < 2**32
+
+    def test_stage_dispatch(self):
+        prof = OperandProfile(effective_bits=10, locality=0.2, opcode_entropy=0.7)
+        gen = TraceGenerator(prof, seed=5)
+        assert set(gen.operands_for("decode", 10)) == {"instruction_words"}
+        assert set(gen.operands_for("simple_alu", 10)) == {
+            "a_vals",
+            "b_vals",
+            "op_vals",
+        }
+        assert set(gen.operands_for("complex_alu", 10)) == {
+            "a_vals",
+            "b_vals",
+            "sh_vals",
+            "op_vals",
+        }
+        with pytest.raises(ValueError):
+            gen.operands_for("fetch", 10)
+
+
+class TestCrossLayerCharacterization:
+    @pytest.fixture(scope="class")
+    def chars(self):
+        return characterize_threads(
+            "simple_alu", RADIX_LIKE_PROFILES, n_instructions=1500, seed=11
+        )
+
+    def test_one_result_per_thread(self, chars):
+        assert len(chars) == 4
+        assert [c.thread for c in chars] == [0, 1, 2, 3]
+
+    def test_heterogeneity_emerges_from_circuit(self, chars):
+        """The circuit substrate itself must produce thread-dependent
+        error curves: the high-activity thread errs more.  Compared at
+        a moderate speculation depth where both tails carry enough
+        sample mass (the extreme tail of a short trace is noise)."""
+        r = 0.5
+        e0 = chars[0].error_function(r)
+        e3 = chars[3].error_function(r)
+        assert e0 > e3
+        assert (
+            chars[0].profile.normalized_delays.mean()
+            > chars[3].profile.normalized_delays.mean()
+        )
+
+    def test_error_functions_valid(self, chars):
+        grid = np.linspace(0.5, 1.0, 11)
+        for c in chars:
+            curve = c.error_function.curve(grid)
+            assert np.all((curve >= 0) & (curve <= 1))
+            assert all(a >= b - 1e-12 for a, b in zip(curve, curve[1:]))
+
+    def test_observed_max_normalisation(self, chars):
+        """With max-observed normalisation some cycle must sit at
+        delay 1.0, i.e. err just below 1.0 is non-zero for the
+        worst thread."""
+        worst = max(chars, key=lambda c: c.error_function(0.98))
+        assert worst.error_function(0.9799) > 0.0
