@@ -4,19 +4,94 @@ Each ``test_bench_*`` file regenerates one published table/figure
 under pytest-benchmark (single round: the figures are deterministic
 end-to-end computations, and the timing of interest is "how long a
 regeneration takes", not micro-variance).
+
+Every regeneration runs inside its own engine session so figures are
+timed cold by default; the harness honours two environment knobs:
+
+* ``REPRO_BENCH_JOBS``       -- worker processes for experiment cells
+  (default 1: the serial reference path);
+* ``REPRO_BENCH_CACHE_DIR``  -- share an on-disk result cache across
+  figures/sessions (warm-run benchmarking).
+
+After each figure the harness drops a machine-readable timing record
+``BENCH_<test>.json`` (wall seconds, engine cache stats, and the
+regenerated ``ExperimentResult`` summary) into
+``REPRO_BENCH_JSON_DIR`` (default ``benchmarks/results``) so CI can
+track the perf trajectory artifact-by-artifact.
 """
+
+import json
+import os
+import time
+from pathlib import Path
 
 import pytest
 
+from repro.engine import engine_session
+from repro.experiments.common import ExperimentResult
+
+
+def _results_dir() -> Path:
+    out = Path(
+        os.environ.get(
+            "REPRO_BENCH_JSON_DIR", Path(__file__).parent / "results"
+        )
+    )
+    out.mkdir(parents=True, exist_ok=True)
+    return out
+
+
+def _summarize(result) -> object:
+    """JSON summary of whatever the driver returned."""
+    if isinstance(result, ExperimentResult):
+        return {
+            "experiment_id": result.experiment_id,
+            "title": result.title,
+            "n_rows": len(result.rows),
+            "n_series": len(result.series),
+            "notes": result.to_payload()["notes"],
+        }
+    if isinstance(result, dict):
+        return {
+            key: _summarize(value)
+            for key, value in result.items()
+            if isinstance(value, ExperimentResult)
+        }
+    return repr(result)
+
 
 @pytest.fixture
-def regenerate(benchmark):
-    """Run an experiment once under the benchmark clock and return
-    its result for shape assertions."""
+def regenerate(benchmark, request):
+    """Run an experiment once under the benchmark clock, record a
+    BENCH_*.json timing entry, and return the result for shape
+    assertions."""
+    jobs = int(os.environ.get("REPRO_BENCH_JOBS", "1"))
+    cache_dir = os.environ.get("REPRO_BENCH_CACHE_DIR") or None
 
     def _run(fn, *args, **kwargs):
-        return benchmark.pedantic(
-            fn, args=args, kwargs=kwargs, rounds=1, iterations=1
-        )
+        # drop the process-global problem memo so each figure's wall
+        # time is cold regardless of which figures ran before it --
+        # otherwise the BENCH_*.json records depend on collection order
+        from repro.engine.cells import _interval_problems
+
+        _interval_problems.cache_clear()
+        with engine_session(jobs=jobs, cache_dir=cache_dir) as engine:
+            start = time.perf_counter()
+            result = benchmark.pedantic(
+                fn, args=args, kwargs=kwargs, rounds=1, iterations=1
+            )
+            elapsed = time.perf_counter() - start
+            record = {
+                "test": request.node.name,
+                "seconds": round(elapsed, 6),
+                "jobs": jobs,
+                "cache_dir": cache_dir,
+                "cache": engine.stats.as_dict(),
+                "cells_computed": engine.cells_computed,
+                "result": _summarize(result),
+            }
+        path = _results_dir() / f"BENCH_{request.node.name}.json"
+        path.write_text(json.dumps(record, indent=2) + "\n", encoding="utf-8")
+        return result
 
     return _run

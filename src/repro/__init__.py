@@ -17,6 +17,11 @@ Public API highlights
 * :mod:`repro.experiments` -- one driver per published table/figure.
 """
 
+#: Package version (kept in sync with pyproject.toml); participates in
+#: every engine cache key so persistent --cache-dir entries from older
+#: code versions are never served.
+__version__ = "0.2.0"
+
 from .core import (
     OnlineKnobs,
     PlatformConfig,

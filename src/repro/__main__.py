@@ -4,15 +4,25 @@ Usage::
 
     python -m repro list                 # available experiments
     python -m repro run fig_6_18         # regenerate one artifact
-    python -m repro run all              # regenerate everything
+    python -m repro fig_6_18             # shorthand for 'run fig_6_18'
+    python -m repro run all --jobs 8     # parallel regeneration
+    python -m repro table_5_1 --cache-dir .repro-cache   # warm reruns
     python -m repro ablation heterogeneity
+
+Every regeneration goes through the experiment engine:
+
+* ``--jobs N`` fans the experiment's cells out over N worker
+  processes (results are bit-identical to the serial run);
+* ``--cache-dir DIR`` persists every cell and figure to a
+  content-addressed on-disk cache, so repeated runs -- and figures
+  sharing sub-problems -- skip the recomputation;
+* ``--stats`` prints cache hit/miss accounting to stderr.
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
-from typing import Dict
 
 
 def _print_result(result) -> None:
@@ -25,23 +35,87 @@ def _print_result(result) -> None:
         print(result.render())
 
 
-def main(argv=None) -> int:
-    from repro.experiments import EXPERIMENTS
-    from repro.experiments.ablations import ABLATIONS
-
+def _build_parser(experiments, ablations) -> argparse.ArgumentParser:
+    # engine options are accepted both before and after the subcommand.
+    # SUPPRESS defaults are load-bearing: the subparser shares these
+    # actions via parents, and a plain default would clobber a value
+    # the main parser already wrote into the namespace.
+    engine_opts = argparse.ArgumentParser(add_help=False)
+    engine_opts.add_argument(
+        "--jobs",
+        "-j",
+        type=int,
+        default=argparse.SUPPRESS,
+        help="worker processes for experiment cells (default: serial)",
+    )
+    engine_opts.add_argument(
+        "--cache-dir",
+        default=argparse.SUPPRESS,
+        help="persist results to an on-disk content-addressed cache",
+    )
+    engine_opts.add_argument(
+        "--stats",
+        action="store_true",
+        default=argparse.SUPPRESS,
+        help="print cache statistics to stderr after the run",
+    )
     parser = argparse.ArgumentParser(
         prog="repro",
         description="SynTS reproduction: regenerate the paper's tables "
         "and figures",
+        parents=[engine_opts],
     )
     sub = parser.add_subparsers(dest="command", required=True)
     sub.add_parser("list", help="list experiment and ablation ids")
-    run_p = sub.add_parser("run", help="regenerate an experiment (or 'all')")
+    run_p = sub.add_parser(
+        "run",
+        help="regenerate an experiment (or 'all')",
+        parents=[engine_opts],
+    )
     run_p.add_argument("experiment", help="experiment id from 'list', or 'all'")
-    abl_p = sub.add_parser("ablation", help="run an ablation study (or 'all')")
+    abl_p = sub.add_parser(
+        "ablation",
+        help="run an ablation study (or 'all')",
+        parents=[engine_opts],
+    )
     abl_p.add_argument("name", help="ablation id from 'list', or 'all'")
+    return parser
 
-    args = parser.parse_args(argv)
+
+#: Engine flags that consume the next token (``--flag value`` form).
+_VALUE_FLAGS = ("--jobs", "-j", "--cache-dir")
+
+
+def _normalize_argv(argv, experiments) -> list:
+    """Allow ``python -m repro fig_6_18 --jobs 4`` as run shorthand."""
+    argv = list(argv)
+    skip_value = False
+    for i, token in enumerate(argv):
+        if skip_value:
+            skip_value = False
+            continue
+        if token.startswith("-"):
+            # don't mistake a flag's value for the experiment token
+            skip_value = token in _VALUE_FLAGS
+            continue
+        if token in ("list", "run", "ablation"):
+            return argv
+        if token in experiments or token == "all":
+            return argv[:i] + ["run"] + argv[i:]
+        return argv  # unknown id: let the parser report it
+    return argv
+
+
+def main(argv=None) -> int:
+    from repro.engine import ExperimentEngine, engine_session
+    from repro.experiments import EXPERIMENTS
+    from repro.experiments.ablations import ABLATIONS
+
+    if argv is None:
+        argv = sys.argv[1:]
+    parser = _build_parser(EXPERIMENTS, ABLATIONS)
+    args = parser.parse_args(_normalize_argv(argv, EXPERIMENTS))
+
     if args.command == "list":
         print("experiments:")
         for name in EXPERIMENTS:
@@ -50,30 +124,52 @@ def main(argv=None) -> int:
         for name in ABLATIONS:
             print(f"  {name}")
         return 0
+
+    jobs = getattr(args, "jobs", None)
+    cache_dir = getattr(args, "cache_dir", None)
+    stats = getattr(args, "stats", False)
+    try:
+        engine = ExperimentEngine(jobs=jobs, cache_dir=cache_dir)
+    except (ValueError, OSError) as exc:
+        print(f"repro: {exc}", file=sys.stderr)
+        return 2
+    with engine_session(engine=engine):
+        code = _dispatch(args, EXPERIMENTS, ABLATIONS)
+        if stats:
+            print(
+                f"cache: {engine.stats.as_dict()} "
+                f"cells computed: {engine.cells_computed} "
+                f"(jobs={engine.jobs})",
+                file=sys.stderr,
+            )
+    return code
+
+
+def _dispatch(args, experiments, ablations) -> int:
     if args.command == "run":
         if args.experiment == "all":
-            for name, fn in EXPERIMENTS.items():
+            for name, fn in experiments.items():
                 _print_result(fn())
                 print()
             return 0
-        if args.experiment not in EXPERIMENTS:
+        if args.experiment not in experiments:
             print(
                 f"unknown experiment {args.experiment!r}; try 'list'",
                 file=sys.stderr,
             )
             return 2
-        _print_result(EXPERIMENTS[args.experiment]())
+        _print_result(experiments[args.experiment]())
         return 0
     if args.command == "ablation":
         if args.name == "all":
-            for fn in ABLATIONS.values():
+            for fn in ablations.values():
                 _print_result(fn())
                 print()
             return 0
-        if args.name not in ABLATIONS:
+        if args.name not in ablations:
             print(f"unknown ablation {args.name!r}; try 'list'", file=sys.stderr)
             return 2
-        _print_result(ABLATIONS[args.name]())
+        _print_result(ablations[args.name]())
         return 0
     return 2  # pragma: no cover
 

@@ -27,7 +27,6 @@ from repro.errors.fitting import isotonic_nonincreasing
 from repro.errors.probability import TabulatedErrorFunction
 
 from .pipeline import CoreResult, execute_trace
-from .razor import RazorStage
 from .trace import InstructionTrace, trace_for_thread
 
 __all__ = ["SimulatedOnlineOutcome", "simulate_online_interval"]
@@ -64,23 +63,29 @@ def _sample_phase(
     ratios = np.asarray(config.tsr_levels, dtype=float)
     s = len(ratios)
     base, extra = divmod(n_samp, s)
-    counts = [base + (1 if i < extra else 0) for i in range(s)]
+    counts = np.array([base + (1 if i < extra else 0) for i in range(s)])
     tnom_s = config.tnom(v_samp)
     penalty = int(round(config.c_penalty))
 
-    pos = 0
-    rates: List[float] = []
-    time = 0.0
-    energy = 0.0
-    for n_k, r_k in zip(counts, ratios):
-        chunk = trace.slice(pos, pos + n_k)
-        pos += n_k
-        razor = RazorStage()
-        errors = int(razor.check_batch(chunk.delays, float(r_k)).sum())
-        cycles = int(chunk.base_cycles.sum()) + penalty * errors
-        time += cycles * float(r_k) * tnom_s
-        energy += config.alpha * v_samp**2 * cycles
-        rates.append(errors / max(1, n_k))
+    # one batched pass over the whole sampling window: each
+    # instruction's Razor threshold is its level's TSR ratio
+    # (Razor detects whenever the sensitised delay exceeds it)
+    head_delays = np.asarray(trace.delays[:n_samp], dtype=float)
+    head_cycles = np.asarray(trace.base_cycles[:n_samp])
+    bounds = np.concatenate(([0], np.cumsum(counts)))
+    thresholds = np.repeat(ratios, counts)
+    error_mask = head_delays > thresholds
+
+    err_csum = np.concatenate(([0], np.cumsum(error_mask)))
+    cyc_csum = np.concatenate(([0], np.cumsum(head_cycles)))
+    errors = (err_csum[bounds[1:]] - err_csum[bounds[:-1]]).astype(int)
+    cycles = (
+        cyc_csum[bounds[1:]] - cyc_csum[bounds[:-1]]
+    ).astype(int) + penalty * errors
+
+    time = float(np.sum(cycles * ratios * tnom_s))
+    energy = float(np.sum(config.alpha * v_samp**2 * cycles))
+    rates = errors / np.maximum(1, counts)
 
     projected = isotonic_nonincreasing(rates, weights=counts)
     estimate = TabulatedErrorFunction(ratios, projected)

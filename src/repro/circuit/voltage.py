@@ -34,8 +34,6 @@ from dataclasses import dataclass
 from typing import Dict, List, Sequence, Tuple
 
 import numpy as np
-from scipy.interpolate import PchipInterpolator
-from scipy.optimize import minimize
 
 __all__ = [
     "TABLE_5_1",
@@ -68,6 +66,10 @@ class Table51Model:
     """
 
     def __init__(self) -> None:
+        # deferred: scipy costs ~0.4 s to import and most sessions
+        # (e.g. cache-warm CLI runs) never build an interpolator
+        from scipy.interpolate import PchipInterpolator
+
         volts = np.array(sorted(TABLE_5_1))
         periods = np.array([TABLE_5_1[v] for v in volts])
         self._interp = PchipInterpolator(volts, periods)
@@ -151,6 +153,8 @@ def fit_alpha_power_model(v_ref: float = 1.0) -> AlphaPowerModel:
         model = AlphaPowerModel(vth=float(vth), alpha=float(alpha), v_ref=v_ref)
         pred = np.log(np.array([model.scale(v) for v in volts]))
         return float(np.sum((pred - target) ** 2))
+
+    from scipy.optimize import minimize
 
     res = minimize(loss, x0=np.array([0.42, 1.3]), method="Nelder-Mead")
     vth, alpha = res.x

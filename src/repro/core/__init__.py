@@ -36,7 +36,9 @@ from .runner import (
     BenchmarkRun,
     OnlineBenchmarkRun,
     interval_problems,
+    run_benchmark_cells,
     run_offline_benchmark,
+    run_offline_interval,
     run_online_benchmark,
 )
 from .sync_extensions import (
@@ -76,7 +78,9 @@ __all__ = [
     "BenchmarkRun",
     "OnlineBenchmarkRun",
     "interval_problems",
+    "run_benchmark_cells",
     "run_offline_benchmark",
+    "run_offline_interval",
     "run_online_benchmark",
     "TradeoffPoint",
     "theta_grid",

@@ -33,7 +33,7 @@ from repro.errors.estimation import (
 )
 from repro.errors.probability import ErrorFunction, TabulatedErrorFunction
 
-from .model import Evaluation, PlatformConfig, ThreadParams, effective_cpi
+from .model import Evaluation, PlatformConfig, ThreadParams
 from .poly import SynTSSolution, solve_synts_poly
 from .problem import SynTSProblem
 
@@ -122,17 +122,19 @@ def _sampling_overheads(
     true error rates and their replay penalties.
     """
     counts = plan.instructions_per_level()
+    ratios = np.asarray(plan.ratios, dtype=float)
     tnom_s = config.tnom(plan.v_samp)
-    time = 0.0
-    energy = 0.0
-    for n_k, r_k in zip(counts, plan.ratios):
-        p = float(np.clip(thread.err(r_k), 0.0, 1.0))
-        cpi = effective_cpi(p, config.c_penalty, thread.cpi_base)
-        chunk_time = n_k * r_k * tnom_s * cpi
-        time += chunk_time
-        energy += config.alpha * plan.v_samp**2 * n_k * cpi
-        if config.leakage:
-            energy += config.leakage * config.alpha * plan.v_samp * chunk_time
+    # batched over the S levels (identical accounting to the scalar
+    # per-level recurrence)
+    p = np.clip(thread.err.curve(ratios), 0.0, 1.0)
+    cpi = p * config.c_penalty + thread.cpi_base
+    chunk_times = counts * ratios * tnom_s * cpi
+    time = float(np.sum(chunk_times))
+    energy = float(np.sum(config.alpha * plan.v_samp**2 * counts * cpi))
+    if config.leakage:
+        energy += float(
+            np.sum(config.leakage * config.alpha * plan.v_samp * chunk_times)
+        )
     return time, energy
 
 

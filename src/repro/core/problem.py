@@ -49,25 +49,34 @@ class SynTSProblem:
     # ------------------------------------------------------------------
     @cached_property
     def _tables(self) -> Tuple[np.ndarray, np.ndarray]:
+        # fully batched over (thread, voltage, tsr); per-thread error
+        # curves are the only per-object evaluation.  The broadcasting
+        # reproduces the scalar recurrence term-for-term, so values
+        # are bit-identical to the original per-(i, j) loops.
         cfg = self.config
-        m, q, s = self.n_threads, cfg.n_voltages, cfg.n_tsr
-        times = np.empty((m, q, s))
-        energies = np.empty((m, q, s))
-        tsr = np.asarray(cfg.tsr_levels)
-        for i, th in enumerate(self.threads):
-            perr = np.clip(th.err.curve(tsr), 0.0, 1.0)
-            cycles = th.n_instructions * (
-                perr * cfg.c_penalty + th.cpi_base
-            )  # (s,)
-            for j, v in enumerate(cfg.voltages):
-                tclk = tsr * cfg.tnom(v)
-                times[i, j, :] = cycles * tclk
-                energies[i, j, :] = cfg.alpha * v**2 * cycles
-                if cfg.leakage:
-                    # static power integrated over the thread's time
-                    energies[i, j, :] += (
-                        cfg.leakage * cfg.alpha * v * cycles * tclk
-                    )
+        tsr = np.asarray(cfg.tsr_levels)  # (s,)
+        volts = np.asarray(cfg.voltages)  # (q,)
+        tnoms = np.asarray([cfg.tnom(v) for v in cfg.voltages])  # (q,)
+        perr = np.stack(
+            [np.clip(th.err.curve(tsr), 0.0, 1.0) for th in self.threads]
+        )  # (m, s)
+        n_instr = np.asarray([th.n_instructions for th in self.threads])
+        cpi_base = np.asarray([th.cpi_base for th in self.threads])
+        cycles = n_instr[:, None] * (
+            perr * cfg.c_penalty + cpi_base[:, None]
+        )  # (m, s)
+        tclk = tsr[None, :] * tnoms[:, None]  # (q, s)
+        times = cycles[:, None, :] * tclk[None, :, :]  # (m, q, s)
+        energies = cfg.alpha * volts[None, :, None] ** 2 * cycles[:, None, :]
+        if cfg.leakage:
+            # static power integrated over the thread's time
+            energies = energies + (
+                cfg.leakage
+                * cfg.alpha
+                * volts[None, :, None]
+                * cycles[:, None, :]
+                * tclk[None, :, :]
+            )
         return times, energies
 
     @property

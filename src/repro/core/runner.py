@@ -4,6 +4,12 @@ The paper evaluates each scheme over (up to) three barrier intervals
 per benchmark; totals are the per-interval sums, and EDP is computed
 on the totals.  These runners hold that accounting in one place so the
 experiment drivers and the test suite agree on it.
+
+The per-interval steps (:func:`run_offline_interval`,
+:func:`repro.core.online.run_online_interval`) are exactly what the
+experiment engine's cells execute, so the in-process runners here and
+an engine fan-out (:func:`run_benchmark_cells`) are two schedules of
+the same accounting.
 """
 
 from __future__ import annotations
@@ -24,8 +30,10 @@ __all__ = [
     "BenchmarkRun",
     "OnlineBenchmarkRun",
     "interval_problems",
+    "run_offline_interval",
     "run_offline_benchmark",
     "run_online_benchmark",
+    "run_benchmark_cells",
 ]
 
 
@@ -72,6 +80,15 @@ def interval_problems(
     ]
 
 
+def run_offline_interval(
+    problem: SynTSProblem,
+    theta: float,
+    solver: Callable[[SynTSProblem, float], SynTSSolution],
+) -> SynTSSolution:
+    """One barrier interval under one offline solver (a single cell)."""
+    return solver(problem, theta)
+
+
 def run_offline_benchmark(
     benchmark: Benchmark,
     stage: str,
@@ -85,7 +102,7 @@ def run_offline_benchmark(
     energy = 0.0
     time = 0.0
     for problem in interval_problems(benchmark, stage, config):
-        sol = solver(problem, theta)
+        sol = run_offline_interval(problem, theta, solver)
         solutions.append(sol)
         energy += sol.evaluation.total_energy
         time += sol.evaluation.texec
@@ -123,3 +140,28 @@ def run_online_benchmark(
         total_energy=energy,
         total_time=time,
     )
+
+
+def run_benchmark_cells(
+    benchmark: str,
+    stage: str,
+    scheme: str,
+    engine=None,
+    **knobs,
+):
+    """Benchmark totals via the experiment engine (cached, parallel).
+
+    The cell-based twin of :func:`run_offline_benchmark` /
+    :func:`run_online_benchmark` for *named* SPLASH-2 benchmarks at
+    the equal-weight (or an explicit ``theta=``) objective: interval
+    cells are deduplicated against the session cache and run on the
+    engine's worker pool.  Returns
+    :class:`repro.engine.cells.BenchmarkTotals`.
+    """
+    # imported lazily: repro.core must stay importable without the
+    # engine package (which itself builds on repro.core)
+    from repro.engine import benchmark_specs, get_engine, totalize
+
+    eng = engine or get_engine()
+    specs = benchmark_specs(benchmark, stage, scheme, **knobs)
+    return totalize(eng.run_cells(list(specs)))

@@ -1,0 +1,59 @@
+"""Parallel experiment engine with content-addressed result caching.
+
+The paper's evaluation regenerates ~14 tables/figures, each sweeping
+(benchmark x stage x scheme x interval) sub-problems.  This package
+decomposes those sweeps into pure, picklable *cells*
+(:mod:`~repro.engine.cells`), executes them serially or on a process
+pool (:mod:`~repro.engine.executor`), and memoises every result under
+content-hash keys (:mod:`~repro.engine.cache`,
+:mod:`~repro.engine.serialize`) -- in memory within a session and
+optionally on disk across sessions (``--cache-dir``).
+
+Guarantees:
+
+* serial and parallel runs produce bit-identical results (cells are
+  pure functions of their specs; online cells derive their RNG stream
+  from the spec's content hash);
+* a cell shared by several figures is computed exactly once per
+  session (e.g. the offline SynTS/No-TS/per-core totals shared by
+  ``headline`` and ``fig_6_18``).
+"""
+
+from .cache import CacheStats, ResultCache
+from .cells import (
+    OFFLINE_SCHEMES,
+    SCHEMES,
+    BenchmarkTotals,
+    CellResult,
+    CellSpec,
+    benchmark_specs,
+    cached_interval_problems,
+    cell_seed,
+    compute_cell,
+    totalize,
+)
+from .executor import ExperimentEngine
+from .serialize import canonical_json, content_key, sanitize
+from .session import engine_session, get_engine, set_engine
+
+__all__ = [
+    "BenchmarkTotals",
+    "CacheStats",
+    "CellResult",
+    "CellSpec",
+    "ExperimentEngine",
+    "OFFLINE_SCHEMES",
+    "ResultCache",
+    "SCHEMES",
+    "benchmark_specs",
+    "cached_interval_problems",
+    "canonical_json",
+    "cell_seed",
+    "compute_cell",
+    "content_key",
+    "engine_session",
+    "get_engine",
+    "sanitize",
+    "set_engine",
+    "totalize",
+]

@@ -1,0 +1,156 @@
+"""Content-addressed result cache: in-memory always, on-disk optional.
+
+The cache stores *payloads* -- plain JSON-serialisable dicts produced
+by the cell and experiment codecs -- under content-hash keys (see
+:mod:`repro.engine.serialize`).  The in-memory layer makes repeated
+sub-problems free within one session (e.g. the offline SynTS totals
+shared by ``headline`` and ``fig_6_18``); the optional directory
+layer persists them across sessions and processes, which is what the
+CLI's ``--cache-dir`` and CI's warm-run jobs use.
+
+Writes are atomic (tmp file + ``os.replace``) so a parallel run's
+workers and a concurrent second session can share one directory.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Dict, Optional
+
+from .serialize import sanitize
+
+__all__ = ["CacheStats", "ResultCache"]
+
+
+@dataclass
+class CacheStats:
+    """Hit/miss accounting for one cache instance."""
+
+    hits: int = 0
+    misses: int = 0
+    disk_hits: int = 0
+    puts: int = 0
+
+    @property
+    def lookups(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        return self.hits / self.lookups if self.lookups else 0.0
+
+    def as_dict(self) -> Dict[str, float]:
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "disk_hits": self.disk_hits,
+            "puts": self.puts,
+            "hit_rate": round(self.hit_rate, 4),
+        }
+
+
+@dataclass
+class ResultCache:
+    """Two-level (memory, optional disk) payload store.
+
+    Attributes
+    ----------
+    cache_dir:
+        When set, every payload is mirrored to
+        ``<cache_dir>/<key[:2]>/<key>.json`` and lookups fall back to
+        disk on a memory miss.  ``None`` keeps the cache in-memory
+        only.
+    """
+
+    cache_dir: Optional[Path] = None
+    stats: CacheStats = field(default_factory=CacheStats)
+    _memory: Dict[str, Any] = field(default_factory=dict)
+
+    def __post_init__(self):
+        if self.cache_dir is not None:
+            self.cache_dir = Path(self.cache_dir)
+            try:
+                self.cache_dir.mkdir(parents=True, exist_ok=True)
+            except (FileExistsError, NotADirectoryError) as exc:
+                raise ValueError(
+                    f"cache dir {self.cache_dir} is not a directory"
+                ) from exc
+
+    # ------------------------------------------------------------------
+    def _path(self, key: str) -> Path:
+        assert self.cache_dir is not None
+        return self.cache_dir / key[:2] / f"{key}.json"
+
+    def get(self, key: str) -> Optional[Any]:
+        """Payload for ``key`` or ``None``; counts a hit or a miss."""
+        if key in self._memory:
+            self.stats.hits += 1
+            return self._memory[key]
+        if self.cache_dir is not None:
+            path = self._path(key)
+            try:
+                with open(path, "r", encoding="utf-8") as fh:
+                    payload = json.load(fh)
+            except (OSError, ValueError):
+                payload = None
+            if payload is not None:
+                self._memory[key] = payload
+                self.stats.hits += 1
+                self.stats.disk_hits += 1
+                return payload
+        self.stats.misses += 1
+        return None
+
+    def put(self, key: str, payload: Any) -> None:
+        """Store a JSON-serialisable payload under ``key``.
+
+        The payload is sanitised first (numpy scalars -> Python
+        numbers, tuples -> lists), so memory and disk lookups return
+        the same shapes; a payload with no JSON image raises
+        ``TypeError`` before anything is stored.
+        """
+        payload = sanitize(payload)
+        self._memory[key] = payload
+        self.stats.puts += 1
+        if self.cache_dir is None:
+            return
+        path = self._path(key)
+        # disk trouble (full/read-only filesystem) degrades to
+        # memory-only caching; anything else is a real bug and must
+        # surface
+        try:
+            path.parent.mkdir(parents=True, exist_ok=True)
+            # atomic publish: concurrent writers race benignly, and a
+            # reader never observes a half-written entry
+            fd, tmp = tempfile.mkstemp(
+                dir=path.parent, prefix=f".{key[:8]}.", suffix=".tmp"
+            )
+        except OSError:
+            return
+        try:
+            with os.fdopen(fd, "w", encoding="utf-8") as fh:
+                json.dump(payload, fh, separators=(",", ":"))
+            os.replace(tmp, path)
+        except BaseException as exc:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            if not isinstance(exc, OSError):
+                raise
+
+    def __contains__(self, key: str) -> bool:
+        if key in self._memory:
+            return True
+        return self.cache_dir is not None and self._path(key).exists()
+
+    def __len__(self) -> int:
+        return len(self._memory)
+
+    def clear(self) -> None:
+        """Drop the in-memory layer (the disk layer is left intact)."""
+        self._memory.clear()

@@ -1,0 +1,358 @@
+"""Experiment cells: the engine's unit of work.
+
+Every evaluation-figure computation decomposes into *cells*: one
+(benchmark, stage, scheme, barrier-interval) sub-problem, optionally
+pinned to an explicit ``theta`` (Pareto sweeps) or carrying online
+knobs (seed, sampling budget) and platform overrides (ablations).
+
+A :class:`CellSpec` is pure data -- picklable for the process pool and
+canonically JSON-serialisable for content-hash cache keys -- and
+:func:`compute_cell` is a module-level pure function of the spec, so
+a cell computes to the same :class:`CellResult` in any process, in any
+order.  That property is what lets the executor promise bit-identical
+results for serial and parallel runs, and lets figures share cells
+through the cache (e.g. ``headline`` reuses the offline totals
+``fig_6_18`` already computed).
+
+Online cells derive their RNG stream from the spec itself (stable
+content hash), never from shared mutable state, so online results are
+also independent of scheduling.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import lru_cache
+from typing import Callable, Dict, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.baselines import solve_no_ts, solve_nominal, solve_per_core_ts
+from repro.core.online import OnlineKnobs, run_online_interval
+from repro.core.poly import solve_synts_poly
+from repro.core.problem import SynTSProblem
+from repro.core.runner import run_offline_interval
+from repro.workloads.splash2 import SPLASH2_PROFILES
+
+from .serialize import content_key
+
+__all__ = [
+    "OFFLINE_SCHEMES",
+    "SCHEMES",
+    "CellSpec",
+    "CellResult",
+    "BenchmarkTotals",
+    "benchmark_specs",
+    "cached_interval_problems",
+    "cell_seed",
+    "compute_cell",
+    "totalize",
+]
+
+#: Offline scheme name -> interval solver.
+OFFLINE_SCHEMES: Dict[str, Callable] = {
+    "synts": solve_synts_poly,
+    "no_ts": solve_no_ts,
+    "nominal": solve_nominal,
+    "per_core_ts": solve_per_core_ts,
+}
+
+#: All schemes a cell can run (offline solvers plus the online controller).
+SCHEMES: Tuple[str, ...] = (*OFFLINE_SCHEMES, "online")
+
+
+@dataclass(frozen=True)
+class CellSpec:
+    """One (benchmark, stage, scheme, interval) sub-problem.
+
+    Attributes
+    ----------
+    benchmark / stage / scheme / interval:
+        The cell coordinates.  ``scheme`` is one of :data:`SCHEMES`;
+        ``interval`` indexes the benchmark's barrier intervals.
+    theta:
+        Explicit Eq. 4.4 weight; ``None`` selects the benchmark's
+        equal-weight theta (the Fig. 6.18 convention), resolved from
+        interval 0 under the cell's platform overrides.
+    seed / n_samp / sampling_fraction:
+        Online-controller knobs (ignored by offline schemes).  The
+        actual RNG stream is :func:`cell_seed`, derived from the whole
+        spec, so two cells never share a stream.
+    c_penalty / leakage / n_voltages:
+        Platform overrides for ablation cells; ``None`` keeps the
+        paper's defaults.
+    """
+
+    benchmark: str
+    stage: str
+    scheme: str
+    interval: int = 0
+    theta: Optional[float] = None
+    seed: Optional[int] = None
+    n_samp: Optional[int] = None
+    sampling_fraction: Optional[float] = None
+    c_penalty: Optional[float] = None
+    leakage: Optional[float] = None
+    n_voltages: Optional[int] = None
+
+    def __post_init__(self):
+        if self.scheme not in SCHEMES:
+            raise ValueError(
+                f"unknown scheme {self.scheme!r}; have {sorted(SCHEMES)}"
+            )
+        if self.interval < 0:
+            raise ValueError("interval must be non-negative")
+
+    def to_payload(self) -> Dict[str, object]:
+        return {
+            "benchmark": self.benchmark,
+            "stage": self.stage,
+            "scheme": self.scheme,
+            "interval": self.interval,
+            "theta": self.theta,
+            "seed": self.seed,
+            "n_samp": self.n_samp,
+            "sampling_fraction": self.sampling_fraction,
+            "c_penalty": self.c_penalty,
+            "leakage": self.leakage,
+            "n_voltages": self.n_voltages,
+        }
+
+    @classmethod
+    def from_payload(cls, payload: Dict[str, object]) -> "CellSpec":
+        return cls(**payload)
+
+    def key(self) -> str:
+        """Content-hash cache key of this cell."""
+        return content_key("cell", self.to_payload())
+
+
+@dataclass(frozen=True)
+class CellResult:
+    """Outcome of one cell: the interval's totals.
+
+    ``theta`` is the *resolved* weight (explicit or equal-weight);
+    ``energy``/``time`` are the interval's total energy and barrier
+    time (online cells include the sampling phase).
+    """
+
+    spec: CellSpec
+    theta: float
+    energy: float
+    time: float
+
+    @property
+    def edp(self) -> float:
+        return self.energy * self.time
+
+    def to_payload(self) -> Dict[str, object]:
+        return {
+            "spec": self.spec.to_payload(),
+            "theta": self.theta,
+            "energy": self.energy,
+            "time": self.time,
+        }
+
+    @classmethod
+    def from_payload(cls, payload: Dict[str, object]) -> "CellResult":
+        return cls(
+            spec=CellSpec.from_payload(payload["spec"]),
+            theta=payload["theta"],
+            energy=payload["energy"],
+            time=payload["time"],
+        )
+
+
+@dataclass(frozen=True)
+class BenchmarkTotals:
+    """Per-benchmark totals summed over interval cells (in order)."""
+
+    benchmark: str
+    stage: str
+    scheme: str
+    total_energy: float
+    total_time: float
+    n_intervals: int
+
+    @property
+    def edp(self) -> float:
+        return self.total_energy * self.total_time
+
+
+def n_intervals(benchmark: str) -> int:
+    """Barrier-interval count of a named SPLASH-2 benchmark."""
+    try:
+        return SPLASH2_PROFILES[benchmark].n_intervals
+    except KeyError:
+        raise KeyError(
+            f"unknown benchmark {benchmark!r}; "
+            f"available: {sorted(SPLASH2_PROFILES)}"
+        ) from None
+
+
+def benchmark_specs(
+    benchmark: str, stage: str, scheme: str, **knobs
+) -> Tuple[CellSpec, ...]:
+    """All interval cells of one (benchmark, stage, scheme) run."""
+    return tuple(
+        CellSpec(
+            benchmark=benchmark,
+            stage=stage,
+            scheme=scheme,
+            interval=k,
+            **knobs,
+        )
+        for k in range(n_intervals(benchmark))
+    )
+
+
+def cell_seed(spec: CellSpec) -> int:
+    """Deterministic per-cell RNG seed.
+
+    Mixes the user seed with the cell coordinates via the content
+    hash, so every (benchmark, stage, interval) cell draws from its
+    own stream and results do not depend on execution order.
+    """
+    digest = content_key(
+        "cell-seed",
+        spec.seed,
+        spec.benchmark,
+        spec.stage,
+        spec.interval,
+        spec.n_samp,
+        spec.sampling_fraction,
+    )
+    return int(digest[:16], 16)
+
+
+# ----------------------------------------------------------------------
+# cell evaluation (runs in worker processes; everything below must be
+# deterministic and derivable from the spec alone)
+# ----------------------------------------------------------------------
+@lru_cache(maxsize=512)
+def _interval_problems(
+    benchmark: str,
+    stage: str,
+    c_penalty: Optional[float],
+    leakage: Optional[float],
+    n_voltages: Optional[int],
+) -> Tuple[SynTSProblem, ...]:
+    """Memoised per-process problem construction.
+
+    Benchmark materialisation is deterministic, so caching per
+    (benchmark, stage, overrides) lets e.g. a 21-theta Pareto sweep
+    reuse one problem instance -- and its precomputed time/energy
+    tables -- across all its theta cells in the same process.
+    """
+    # local imports keep worker start-up (and pickling) light
+    from dataclasses import replace as dc_replace
+
+    from repro.core.model import PlatformConfig
+    from repro.core.runner import interval_problems
+    from repro.workloads import build_benchmark
+
+    config = PlatformConfig()
+    if n_voltages is not None:
+        volts = config.voltages[:n_voltages]
+        config = dc_replace(
+            config,
+            voltages=volts,
+            tnom_table={v: config.tnom_table[v] for v in volts},
+        )
+    overrides = {}
+    if c_penalty is not None:
+        overrides["c_penalty"] = c_penalty
+    if leakage is not None:
+        overrides["leakage"] = leakage
+    if overrides:
+        config = dc_replace(config, **overrides)
+    bm = build_benchmark(benchmark, stages=[stage])
+    return tuple(interval_problems(bm, stage, config))
+
+
+def cached_interval_problems(
+    benchmark: str, stage: str
+) -> Tuple[SynTSProblem, ...]:
+    """Default-platform problems for a named benchmark, from the same
+    per-process memo the cells use (drivers needing e.g. a theta grid
+    share construction with their cells instead of rebuilding)."""
+    return _interval_problems(benchmark, stage, None, None, None)
+
+
+def _resolve_theta(spec: CellSpec, problems: Sequence[SynTSProblem]) -> float:
+    if spec.theta is not None:
+        return float(spec.theta)
+    return problems[0].equal_weight_theta()
+
+
+def compute_cell(spec: CellSpec) -> CellResult:
+    """Evaluate one cell (pure function of the spec)."""
+    problems = _interval_problems(
+        spec.benchmark,
+        spec.stage,
+        spec.c_penalty,
+        spec.leakage,
+        spec.n_voltages,
+    )
+    if spec.interval >= len(problems):
+        raise IndexError(
+            f"{spec.benchmark} has {len(problems)} intervals, "
+            f"cell asks for {spec.interval}"
+        )
+    theta = _resolve_theta(spec, problems)
+    problem = problems[spec.interval]
+
+    if spec.scheme == "online":
+        if spec.n_samp is not None:
+            knobs = OnlineKnobs(n_samp=spec.n_samp)
+        elif spec.sampling_fraction is not None:
+            knobs = OnlineKnobs(sampling_fraction=spec.sampling_fraction)
+        else:
+            knobs = OnlineKnobs()
+        rng = np.random.default_rng(cell_seed(spec))
+        outcome = run_online_interval(problem, theta, rng, knobs)
+        energy, time = outcome.total_energy, outcome.texec
+    else:
+        solution = run_offline_interval(
+            problem, theta, OFFLINE_SCHEMES[spec.scheme]
+        )
+        energy = solution.evaluation.total_energy
+        time = solution.evaluation.texec
+
+    return CellResult(
+        spec=spec, theta=theta, energy=float(energy), time=float(time)
+    )
+
+
+def totalize(cells: Sequence[CellResult]) -> BenchmarkTotals:
+    """Sum a benchmark's interval cells (in the given order).
+
+    Mirrors the accounting of
+    :func:`repro.core.runner.run_offline_benchmark`: energy and time
+    are per-interval sums, EDP is computed on the totals.
+    """
+    if not cells:
+        raise ValueError("cannot totalise zero cells")
+    head = cells[0].spec
+    for c in cells:
+        if (c.spec.benchmark, c.spec.stage, c.spec.scheme) != (
+            head.benchmark,
+            head.stage,
+            head.scheme,
+        ):
+            raise ValueError(
+                "totalize expects cells of one (benchmark, stage, scheme)"
+            )
+    energy = 0.0
+    time = 0.0
+    for c in cells:
+        energy += c.energy
+        time += c.time
+    return BenchmarkTotals(
+        benchmark=head.benchmark,
+        stage=head.stage,
+        scheme=head.scheme,
+        total_energy=energy,
+        total_time=time,
+        n_intervals=len(cells),
+    )

@@ -1,0 +1,207 @@
+"""The experiment engine: fan cells out, memoise everything.
+
+:class:`ExperimentEngine` is the single entry point the drivers, the
+CLI and the benchmark harness go through:
+
+* ``run_cells(specs)`` -- evaluate experiment cells, deduplicated and
+  cache-backed, either serially (deterministic reference path) or on a
+  ``concurrent.futures.ProcessPoolExecutor`` (``jobs > 1``).  Both
+  paths produce bit-identical :class:`~repro.engine.cells.CellResult`
+  lists because cells are pure functions of their specs.
+* ``experiment(key_parts, thunk)`` -- whole-figure memoisation: the
+  thunk's :class:`~repro.experiments.common.ExperimentResult` (or dict
+  of them) is cached under a content key, in memory and -- when the
+  engine has a ``cache_dir`` -- on disk, so a warm rerun of e.g.
+  ``table_5_1`` skips the transient circuit simulation entirely.
+
+The engine never mutates global state; sessions are managed by
+:mod:`repro.engine.session`.
+"""
+
+from __future__ import annotations
+
+import sys
+from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
+from typing import Any, Callable, Dict, List, Optional, Sequence
+
+from .cache import CacheStats, ResultCache
+from .cells import CellResult, CellSpec, compute_cell
+from .serialize import content_key
+
+__all__ = ["ExperimentEngine"]
+
+
+def _encode_value(value: Any) -> Dict[str, Any]:
+    """Codec for experiment-level payloads (lazy import: no cycles)."""
+    from repro.experiments.common import ExperimentResult
+
+    if isinstance(value, ExperimentResult):
+        return {"kind": "result", "value": value.to_payload()}
+    if isinstance(value, dict) and all(
+        isinstance(v, ExperimentResult) for v in value.values()
+    ):
+        return {
+            "kind": "mapping",
+            "value": {k: v.to_payload() for k, v in value.items()},
+        }
+    raise TypeError(
+        "experiment() thunks must return an ExperimentResult or a dict "
+        f"of them, got {type(value).__name__}"
+    )
+
+
+def _decode_value(payload: Dict[str, Any]) -> Any:
+    from repro.experiments.common import ExperimentResult
+
+    if payload["kind"] == "result":
+        return ExperimentResult.from_payload(payload["value"])
+    return {
+        k: ExperimentResult.from_payload(v)
+        for k, v in payload["value"].items()
+    }
+
+
+class ExperimentEngine:
+    """Cell executor + result cache for one session.
+
+    Parameters
+    ----------
+    jobs:
+        Worker-process count for ``run_cells``.  ``None``, ``0`` or
+        ``1`` select the serial path; larger values run a process
+        pool of exactly that size (oversubscribing a small machine is
+        allowed -- results are identical either way).
+    cache:
+        A :class:`ResultCache`; defaults to a fresh in-memory cache.
+    cache_dir:
+        Convenience: build the cache with this on-disk directory.
+    """
+
+    def __init__(
+        self,
+        jobs: Optional[int] = None,
+        cache: Optional[ResultCache] = None,
+        cache_dir: Optional[str] = None,
+    ):
+        if cache is not None and cache_dir is not None:
+            raise ValueError("pass either cache or cache_dir, not both")
+        if jobs is not None and int(jobs) < 0:
+            raise ValueError(f"jobs must be non-negative, got {jobs}")
+        self.jobs = max(1, int(jobs or 1))
+        self.cache = (
+            cache
+            if cache is not None
+            else ResultCache(cache_dir=cache_dir)  # type: ignore[arg-type]
+        )
+        self._pool: Optional[ProcessPoolExecutor] = None
+        self.cells_computed = 0
+        self.experiments_computed = 0
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    @property
+    def parallel(self) -> bool:
+        return self.jobs > 1
+
+    @property
+    def stats(self) -> CacheStats:
+        return self.cache.stats
+
+    def _ensure_pool(self) -> ProcessPoolExecutor:
+        if self._pool is None:
+            self._pool = ProcessPoolExecutor(max_workers=self.jobs)
+        return self._pool
+
+    def close(self) -> None:
+        if self._pool is not None:
+            self._pool.shutdown(wait=True)
+            self._pool = None
+
+    def __enter__(self) -> "ExperimentEngine":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    # cell execution
+    # ------------------------------------------------------------------
+    def run_cells(self, specs: Sequence[CellSpec]) -> List[CellResult]:
+        """Evaluate cells; the returned list is aligned with ``specs``.
+
+        Duplicate specs are computed once.  Cached cells (from this
+        session or a shared ``cache_dir``) are never recomputed.
+        Scheduling cannot affect values -- cells are pure -- so the
+        serial and parallel paths agree bit-for-bit.
+        """
+        keys = [spec.key() for spec in specs]
+        results: Dict[str, CellResult] = {}
+        pending: List[CellSpec] = []
+        pending_keys: List[str] = []
+        for spec, key in zip(specs, keys):
+            if key in results:
+                continue
+            payload = self.cache.get(key)
+            if payload is not None:
+                results[key] = CellResult.from_payload(payload)
+            else:
+                results[key] = None  # type: ignore[assignment]
+                pending.append(spec)
+                pending_keys.append(key)
+
+        if pending:
+            if self.parallel and len(pending) > 1:
+                computed = self._compute_parallel(pending)
+            else:
+                computed = [compute_cell(spec) for spec in pending]
+            self.cells_computed += len(computed)
+            for key, cell in zip(pending_keys, computed):
+                self.cache.put(key, cell.to_payload())
+                results[key] = cell
+
+        return [results[key] for key in keys]
+
+    def _compute_parallel(
+        self, specs: Sequence[CellSpec]
+    ) -> List[CellResult]:
+        try:
+            pool = self._ensure_pool()
+            return list(pool.map(compute_cell, specs, chunksize=1))
+        except (OSError, BrokenProcessPool) as exc:
+            # sandboxed / fork-restricted environments (worker spawn
+            # denied, child killed): fall back to the serial path
+            # (identical results by construction) -- loudly, so a
+            # degraded --jobs run is diagnosable
+            print(
+                f"repro engine: parallel execution unavailable "
+                f"({exc!r}); falling back to serial",
+                file=sys.stderr,
+            )
+            broken = self._pool
+            self._pool = None
+            if broken is not None:
+                broken.shutdown(wait=False, cancel_futures=True)
+            return [compute_cell(spec) for spec in specs]
+
+    # ------------------------------------------------------------------
+    # experiment-level memoisation
+    # ------------------------------------------------------------------
+    def experiment(
+        self, key_parts: Sequence[Any], thunk: Callable[[], Any]
+    ) -> Any:
+        """Memoise a whole figure regeneration.
+
+        ``key_parts`` must identify the computation (experiment id
+        plus every argument that changes the output); ``thunk``
+        produces an ``ExperimentResult`` or a dict of them.
+        """
+        key = content_key("experiment", list(key_parts))
+        payload = self.cache.get(key)
+        if payload is not None:
+            return _decode_value(payload)
+        value = thunk()
+        self.experiments_computed += 1
+        self.cache.put(key, _encode_value(value))
+        return value

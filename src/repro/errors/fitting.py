@@ -12,7 +12,6 @@ from __future__ import annotations
 from typing import Sequence, Tuple
 
 import numpy as np
-from scipy.optimize import minimize
 
 __all__ = [
     "isotonic_nonincreasing",
@@ -111,6 +110,8 @@ def fit_beta_tail(
         if a <= 0 or b <= 0 or a > 500 or b > 500:
             return 1e9
         return float(np.sum((beta_dist.sf(grid, a, b) - emp_sf) ** 2))
+
+    from scipy.optimize import minimize
 
     res = minimize(loss, x0=np.array([a0, b0]), method="Nelder-Mead")
     a, b = (float(v) for v in res.x)

@@ -27,7 +27,6 @@ from dataclasses import dataclass
 from typing import Sequence
 
 import numpy as np
-from scipy.stats import beta as beta_dist
 
 __all__ = [
     "ErrorFunction",
@@ -95,6 +94,10 @@ class BetaTailErrorFunction(ErrorFunction):
             raise ValueError("scale_p must be in (0, 1]")
 
     def __call__(self, r):
+        # deferred: scipy.stats costs ~0.3 s to import and cache-warm
+        # sessions never evaluate an error function
+        from scipy.stats import beta as beta_dist
+
         r = np.asarray(r, dtype=float)
         x = (r - self.lo) / (self.hi - self.lo)
         p = self.scale_p * beta_dist.sf(np.clip(x, 0.0, 1.0), self.a, self.b)

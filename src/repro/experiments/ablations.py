@@ -38,10 +38,11 @@ from repro.core.sync_extensions import (
     serial_topology,
     solve_synts_sync,
 )
+from repro.engine import CellSpec, get_engine
 from repro.errors.probability import BetaTailErrorFunction
 from repro.workloads import build_benchmark
 
-from .common import ExperimentResult
+from .common import ExperimentResult, cached_experiment
 
 __all__ = [
     "sampling_budget",
@@ -54,6 +55,7 @@ __all__ = [
 ]
 
 
+@cached_experiment("ablation_sampling_budget")
 def sampling_budget(
     benchmark: str = "radix", stage: str = "decode", seed: int = 3
 ) -> ExperimentResult:
@@ -116,6 +118,7 @@ def _spread_problem(spread: float, cfg: PlatformConfig) -> SynTSProblem:
     return SynTSProblem(config=cfg, threads=threads)
 
 
+@cached_experiment("ablation_heterogeneity")
 def heterogeneity() -> ExperimentResult:
     """SynTS gain over per-core TS vs the thread error spread."""
     cfg = PlatformConfig()
@@ -148,21 +151,53 @@ def heterogeneity() -> ExperimentResult:
     )
 
 
-def replay_penalty(benchmark: str = "radix", stage: str = "decode") -> ExperimentResult:
+def _first_interval_cells(benchmark, stage, schemes, engine=None, **overrides):
+    """One engine fan-out over schemes x override values.
+
+    Returns ``{(scheme, value): CellResult}`` for the benchmark's
+    first barrier interval; ``overrides`` maps one CellSpec platform
+    field to the swept values.
+    """
+    (field, values), = overrides.items()
+    specs = {
+        (scheme, value): CellSpec(
+            benchmark=benchmark,
+            stage=stage,
+            scheme=scheme,
+            interval=0,
+            **{field: value},
+        )
+        for value in values
+        for scheme in schemes
+    }
+    flat = list(specs.values())
+    results = (engine or get_engine()).run_cells(flat)
+    return dict(zip(specs.keys(), results))
+
+
+@cached_experiment("ablation_replay_penalty")
+def replay_penalty(
+    benchmark: str = "radix", stage: str = "decode", engine=None
+) -> ExperimentResult:
     """Sensitivity of the SynTS gain to the Razor replay penalty."""
+    penalties = (2.0, 5.0, 10.0, 20.0)
+    cells = _first_interval_cells(
+        benchmark,
+        stage,
+        ("synts", "per_core_ts", "nominal"),
+        engine,
+        c_penalty=penalties,
+    )
     rows = []
-    for c_penalty in (2.0, 5.0, 10.0, 20.0):
-        cfg = PlatformConfig(c_penalty=c_penalty)
-        bm = build_benchmark(benchmark)
-        problem = interval_problems(bm, stage, cfg)[0]
-        theta = problem.equal_weight_theta()
-        syn = solve_synts_poly(problem, theta)
-        pc = solve_per_core_ts(problem, theta)
+    for c_penalty in penalties:
+        syn = cells["synts", c_penalty]
+        pc = cells["per_core_ts", c_penalty]
+        nom = cells["nominal", c_penalty]
         rows.append(
             (
                 c_penalty,
-                round(1 - syn.evaluation.edp / pc.evaluation.edp, 4),
-                round(syn.evaluation.texec / problem.nominal_evaluation().texec, 4),
+                round(1 - syn.edp / pc.edp, 4),
+                round(syn.time / nom.time, 4),
             )
         )
     return ExperimentResult(
@@ -175,26 +210,24 @@ def replay_penalty(benchmark: str = "radix", stage: str = "decode") -> Experimen
     )
 
 
-def voltage_levels(benchmark: str = "cholesky", stage: str = "decode") -> ExperimentResult:
+@cached_experiment("ablation_voltage_levels")
+def voltage_levels(
+    benchmark: str = "cholesky", stage: str = "decode", engine=None
+) -> ExperimentResult:
     """How many DVFS levels the synergy needs."""
-    from repro.circuit.voltage import TABLE_5_1
-
-    all_levels = sorted(TABLE_5_1, reverse=True)
-    rows = []
-    for q in (1, 2, 4, 7):
-        volts = tuple(all_levels[:q])
-        cfg = PlatformConfig(
-            voltages=volts,
-            tnom_table={v: TABLE_5_1[v] for v in volts},
+    qs = (1, 2, 4, 7)
+    cells = _first_interval_cells(
+        benchmark, stage, ("synts", "per_core_ts"), engine, n_voltages=qs
+    )
+    rows = [
+        (
+            q,
+            round(
+                1 - cells["synts", q].edp / cells["per_core_ts", q].edp, 4
+            ),
         )
-        bm = build_benchmark(benchmark)
-        problem = interval_problems(bm, stage, cfg)[0]
-        theta = problem.equal_weight_theta()
-        syn = solve_synts_poly(problem, theta)
-        pc = solve_per_core_ts(problem, theta)
-        rows.append(
-            (q, round(1 - syn.evaluation.edp / pc.evaluation.edp, 4))
-        )
+        for q in qs
+    ]
     return ExperimentResult(
         experiment_id="ablation_voltage_levels",
         title=f"Gain vs number of voltage levels Q ({benchmark}/{stage})",
@@ -208,22 +241,29 @@ def voltage_levels(benchmark: str = "cholesky", stage: str = "decode") -> Experi
     )
 
 
-def leakage(benchmark: str = "cholesky", stage: str = "decode") -> ExperimentResult:
+@cached_experiment("ablation_leakage")
+def leakage(
+    benchmark: str = "cholesky", stage: str = "decode", engine=None
+) -> ExperimentResult:
     """The paper's leakage extension: gains as static power grows."""
+    leaks = (0.0, 0.1, 0.2, 0.4)
+    cells = _first_interval_cells(
+        benchmark,
+        stage,
+        ("synts", "per_core_ts", "nominal"),
+        engine,
+        leakage=leaks,
+    )
     rows = []
-    for leak in (0.0, 0.1, 0.2, 0.4):
-        cfg = PlatformConfig(leakage=leak)
-        bm = build_benchmark(benchmark)
-        problem = interval_problems(bm, stage, cfg)[0]
-        theta = problem.equal_weight_theta()
-        syn = solve_synts_poly(problem, theta)
-        pc = solve_per_core_ts(problem, theta)
-        nom = problem.nominal_evaluation()
+    for leak in leaks:
+        syn = cells["synts", leak]
+        pc = cells["per_core_ts", leak]
+        nom = cells["nominal", leak]
         rows.append(
             (
                 leak,
-                round(1 - syn.evaluation.edp / pc.evaluation.edp, 4),
-                round(syn.evaluation.total_energy / nom.total_energy, 4),
+                round(1 - syn.edp / pc.edp, 4),
+                round(syn.energy / nom.energy, 4),
             )
         )
     return ExperimentResult(
@@ -240,6 +280,7 @@ def leakage(benchmark: str = "cholesky", stage: str = "decode") -> ExperimentRes
     )
 
 
+@cached_experiment("ablation_sync_topology")
 def sync_topology(benchmark: str = "cholesky", stage: str = "decode") -> ExperimentResult:
     """Future-work extension: barrier vs phased vs serial sync."""
     bm = build_benchmark(benchmark)
@@ -279,6 +320,7 @@ def sync_topology(benchmark: str = "cholesky", stage: str = "decode") -> Experim
     )
 
 
+@cached_experiment("ablation_process_variation")
 def process_variation(
     benchmark: str = "ocean", stage: str = "complex_alu", seed: int = 4
 ) -> ExperimentResult:

@@ -9,13 +9,72 @@ regenerates each one under pytest-benchmark.
 
 from __future__ import annotations
 
+import functools
+import inspect
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.analysis.plots import ascii_bars, ascii_scatter
 from repro.analysis.report import Series, format_kv, format_table
+from repro.engine.serialize import sanitize
 
-__all__ = ["ExperimentResult", "REPORTED_BENCHMARKS", "STAGES"]
+__all__ = [
+    "ExperimentResult",
+    "REPORTED_BENCHMARKS",
+    "STAGES",
+    "cached_experiment",
+]
+
+
+def cached_experiment(exp_id: str):
+    """Route a driver function through the session engine.
+
+    The wrapped function gains (or keeps) an optional ``engine=``
+    keyword; its result is memoised under a content key built from
+    ``exp_id`` and the call arguments (which must therefore be
+    JSON-serialisable primitives -- ``engine`` never participates in
+    the key).  Functions that declare an ``engine`` parameter receive
+    the resolved engine, so cell-submitting drivers share the same
+    memoisation idiom as pure ones.  With an engine ``cache_dir``, a
+    warm rerun skips the computation entirely.
+    """
+
+    def decorate(fn):
+        signature = inspect.signature(fn)
+        forwards_engine = "engine" in signature.parameters
+
+        @functools.wraps(fn)
+        def wrapper(*args, **kwargs):
+            from repro.engine import get_engine
+
+            # an engine may arrive as a keyword (any driver) or bound
+            # to the function's own ``engine`` parameter (positional)
+            explicit_engine = kwargs.pop("engine", None)
+            bound = signature.bind(*args, **kwargs)
+            bound.apply_defaults()
+            eng = (
+                explicit_engine
+                or bound.arguments.get("engine")
+                or get_engine()
+            )
+            # bind defaults into the key: run(x) and run(value=x) hash
+            # alike, and changing a default invalidates stale on-disk
+            # entries instead of silently serving them
+            arguments = sorted(
+                (name, value)
+                for name, value in bound.arguments.items()
+                if name != "engine"
+            )
+            key = (exp_id, fn.__qualname__, arguments)
+            if forwards_engine:
+                bound.arguments["engine"] = eng
+            return eng.experiment(
+                key, lambda: fn(*bound.args, **bound.kwargs)
+            )
+
+        return wrapper
+
+    return decorate
 
 #: The seven SPLASH-2 benchmarks the paper reports (Section 5.4).
 REPORTED_BENCHMARKS: Tuple[str, ...] = (
@@ -69,3 +128,42 @@ class ExperimentResult:
         if self.notes:
             parts.append(format_kv(self.notes))
         return "\n\n".join(parts)
+
+    # ------------------------------------------------------------------
+    # engine cache codec (content-addressed JSON round trip)
+    # ------------------------------------------------------------------
+    def to_payload(self) -> Dict[str, object]:
+        """Plain-JSON image for the engine's result cache."""
+        return {
+            "experiment_id": self.experiment_id,
+            "title": self.title,
+            "headers": sanitize(list(self.headers)),
+            "rows": sanitize([list(r) for r in self.rows]),
+            "series": [
+                {
+                    "label": s.label,
+                    "x": sanitize(list(s.x)),
+                    "y": sanitize(list(s.y)),
+                }
+                for s in self.series
+            ],
+            "notes": sanitize(dict(self.notes)),
+            "plot": self.plot,
+        }
+
+    @classmethod
+    def from_payload(cls, payload: Dict[str, object]) -> "ExperimentResult":
+        return cls(
+            experiment_id=payload["experiment_id"],
+            title=payload["title"],
+            headers=list(payload["headers"]),
+            rows=[tuple(r) for r in payload["rows"]],
+            series=[
+                Series(
+                    label=s["label"], x=tuple(s["x"]), y=tuple(s["y"])
+                )
+                for s in payload["series"]
+            ],
+            notes=dict(payload["notes"]),
+            plot=payload["plot"],
+        )

@@ -15,11 +15,12 @@ from repro.analysis.report import Series
 from repro.core.model import OperatingPoint, PlatformConfig, ThreadParams, thread_time
 from repro.errors.probability import BetaTailErrorFunction
 
-from .common import ExperimentResult
+from .common import ExperimentResult, cached_experiment
 
 __all__ = ["run"]
 
 
+@cached_experiment("fig_1_2")
 def run(n_points: int = 61) -> ExperimentResult:
     cfg = PlatformConfig()
     err = BetaTailErrorFunction(a=5.5, b=4.0, lo=0.4, hi=0.99, scale_p=0.25)

@@ -13,11 +13,12 @@ import numpy as np
 from repro.analysis.report import Series
 from repro.workloads.splash2 import SPLASH2_PROFILES, thread_error_function
 
-from .common import ExperimentResult
+from .common import ExperimentResult, cached_experiment
 
 __all__ = ["run"]
 
 
+@cached_experiment("fig_3_5")
 def run(
     benchmark: str = "radix",
     stage: str = "simple_alu",

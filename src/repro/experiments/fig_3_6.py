@@ -33,7 +33,7 @@ from repro.core.model import (
 )
 from repro.errors.probability import BetaTailErrorFunction
 
-from .common import ExperimentResult
+from .common import ExperimentResult, cached_experiment
 
 __all__ = ["run", "example_threads", "example_config"]
 
@@ -79,6 +79,7 @@ def _critical_optimal_ratio(threads, cfg) -> float:
     return best_r
 
 
+@cached_experiment("fig_3_6")
 def run() -> ExperimentResult:
     cfg = example_config()
     threads = example_threads()

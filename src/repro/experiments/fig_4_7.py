@@ -12,11 +12,12 @@ from repro.core.model import PlatformConfig
 from repro.core.online import OnlineKnobs
 from repro.errors.estimation import SamplingPlan
 
-from .common import ExperimentResult
+from .common import ExperimentResult, cached_experiment
 
 __all__ = ["run"]
 
 
+@cached_experiment("fig_4_7")
 def run(
     n_instructions: int = 500_000,
     n_samp: int = 50_000,

@@ -14,11 +14,12 @@ import numpy as np
 from repro.analysis.report import Series
 from repro.gpgpu import HD7970, analyze_valus
 
-from .common import ExperimentResult
+from .common import ExperimentResult, cached_experiment
 
 __all__ = ["run"]
 
 
+@cached_experiment("fig_5_10")
 def run(
     kernel: str = "black_scholes",
     n_work_items: int = 4096,

@@ -19,11 +19,12 @@ from repro.core.runner import interval_problems
 from repro.errors.estimation import SamplingPlan, estimate_error_function
 from repro.workloads import build_benchmark
 
-from .common import ExperimentResult
+from .common import ExperimentResult, cached_experiment
 
 __all__ = ["run", "run_benchmark"]
 
 
+@cached_experiment("fig_6_17")
 def run_benchmark(
     benchmark: str,
     stage: str = "simple_alu",
@@ -77,6 +78,7 @@ def run_benchmark(
     )
 
 
+@cached_experiment("fig_6_17")
 def run(seed: int = 2016) -> Dict[str, ExperimentResult]:
     """Both published panels: Radix and FMM."""
     return {

@@ -8,6 +8,10 @@ the figure's two observations:
    average across the 21 benchmark x stage points);
 2. online SynTS still beats No-TS and Nominal everywhere, and beats
    per-core TS by up to ~25 % EDP.
+
+All (benchmark, stage, scheme, interval) cells go through the
+experiment engine: they run in parallel under ``--jobs`` and the
+offline cells are shared with ``headline`` through the session cache.
 """
 
 from __future__ import annotations
@@ -17,23 +21,31 @@ from typing import Dict, List, Tuple
 
 import numpy as np
 
-from repro.core.baselines import solve_no_ts, solve_nominal, solve_per_core_ts
-from repro.core.online import OnlineKnobs
-from repro.core.poly import solve_synts_poly
-from repro.core.runner import (
-    interval_problems,
-    run_offline_benchmark,
-    run_online_benchmark,
+from repro.engine import (
+    CellSpec,
+    ExperimentEngine,
+    benchmark_specs,
+    get_engine,
+    totalize,
 )
-from repro.workloads import build_benchmark
 
-from .common import REPORTED_BENCHMARKS, STAGES, ExperimentResult
+from .common import (
+    REPORTED_BENCHMARKS,
+    STAGES,
+    ExperimentResult,
+    cached_experiment,
+)
 
 __all__ = ["StagePanel", "run", "run_stage"]
 
-#: Paper's sampling budget: 50K instructions, 10K for short-interval FMM.
-def _knobs_for(benchmark: str) -> OnlineKnobs:
-    return OnlineKnobs(n_samp=10_000 if benchmark == "fmm" else 50_000)
+#: The baselines shown alongside online SynTS.
+_BASELINES = ("no_ts", "nominal", "per_core_ts")
+
+
+def _n_samp_for(benchmark: str) -> int:
+    """Paper's sampling budget: 50K instructions, 10K for short-interval
+    FMM."""
+    return 10_000 if benchmark == "fmm" else 50_000
 
 
 @dataclass(frozen=True)
@@ -59,30 +71,40 @@ class StagePanel:
         )
 
 
-def run_stage(stage: str, seed: int = 7) -> StagePanel:
-    rng = np.random.default_rng(seed)
+def _stage_specs(
+    stage: str, seed: int
+) -> Dict[Tuple[str, str], Tuple[CellSpec, ...]]:
+    """(benchmark, scheme) -> interval cells for one panel."""
+    groups: Dict[Tuple[str, str], Tuple[CellSpec, ...]] = {}
+    for name in REPORTED_BENCHMARKS:
+        groups[name, "synts"] = benchmark_specs(name, stage, "synts")
+        groups[name, "online"] = benchmark_specs(
+            name, stage, "online", seed=seed, n_samp=_n_samp_for(name)
+        )
+        for scheme in _BASELINES:
+            groups[name, scheme] = benchmark_specs(name, stage, scheme)
+    return groups
+
+
+def run_stage(
+    stage: str, seed: int = 7, engine: ExperimentEngine | None = None
+) -> StagePanel:
+    eng = engine or get_engine()
+    groups = _stage_specs(stage, seed)
+    flat = [spec for specs in groups.values() for spec in specs]
+    by_spec = dict(zip(flat, eng.run_cells(flat)))
+    totals = {
+        key: totalize([by_spec[s] for s in specs])
+        for key, specs in groups.items()
+    }
+
     online, no_ts, nominal, per_core = [], [], [], []
     for name in REPORTED_BENCHMARKS:
-        bm = build_benchmark(name)
-        theta = interval_problems(bm, stage)[0].equal_weight_theta()
-        offline = run_offline_benchmark(bm, stage, theta, solve_synts_poly)
-        ref = offline.edp
-        online.append(
-            run_online_benchmark(bm, stage, theta, rng, _knobs_for(name)).edp / ref
-        )
-        no_ts.append(
-            run_offline_benchmark(bm, stage, theta, solve_no_ts, "no_ts").edp / ref
-        )
-        nominal.append(
-            run_offline_benchmark(bm, stage, theta, solve_nominal, "nominal").edp
-            / ref
-        )
-        per_core.append(
-            run_offline_benchmark(
-                bm, stage, theta, solve_per_core_ts, "per_core_ts"
-            ).edp
-            / ref
-        )
+        ref = totals[name, "synts"].edp
+        online.append(totals[name, "online"].edp / ref)
+        no_ts.append(totals[name, "no_ts"].edp / ref)
+        nominal.append(totals[name, "nominal"].edp / ref)
+        per_core.append(totals[name, "per_core_ts"].edp / ref)
     return StagePanel(
         stage=stage,
         benchmarks=REPORTED_BENCHMARKS,
@@ -93,8 +115,11 @@ def run_stage(stage: str, seed: int = 7) -> StagePanel:
     )
 
 
-def run(seed: int = 7) -> ExperimentResult:
-    panels = [run_stage(stage, seed) for stage in STAGES]
+@cached_experiment("fig_6_18")
+def run(
+    seed: int = 7, engine: ExperimentEngine | None = None
+) -> ExperimentResult:
+    panels = [run_stage(stage, seed, engine) for stage in STAGES]
     rows: List[Tuple] = []
     for panel in panels:
         for i, name in enumerate(panel.benchmarks):

@@ -7,47 +7,69 @@ existing per-core timing speculation scheme" -- plus the conclusion's
 
 Offline SynTS against offline Per-core TS / No-TS at the equal-weight
 theta, maximised over the seven reported benchmarks.
+
+The offline cells are identical to the ones ``fig_6_18`` submits, so
+in one session (or against a warm ``--cache-dir``) this figure costs
+nothing beyond cache lookups.
 """
 
 from __future__ import annotations
 
 from typing import Dict, Tuple
 
-import numpy as np
+from repro.engine import (
+    ExperimentEngine,
+    benchmark_specs,
+    get_engine,
+    totalize,
+)
 
-from repro.core.baselines import solve_no_ts, solve_per_core_ts
-from repro.core.poly import solve_synts_poly
-from repro.core.runner import interval_problems, run_offline_benchmark
-from repro.workloads import build_benchmark
-
-from .common import REPORTED_BENCHMARKS, STAGES, ExperimentResult
+from .common import (
+    REPORTED_BENCHMARKS,
+    STAGES,
+    ExperimentResult,
+    cached_experiment,
+)
 
 __all__ = ["run", "stage_gains"]
 
 #: Paper's published maxima per stage (vs per-core TS).
 PAPER_HEADLINE = {"decode": 26.0, "simple_alu": 25.0, "complex_alu": 7.5}
 
+_SCHEMES = ("synts", "per_core_ts", "no_ts")
 
-def stage_gains(stage: str) -> Dict[str, Tuple[float, float]]:
+
+def stage_gains(
+    stage: str, engine: ExperimentEngine | None = None
+) -> Dict[str, Tuple[float, float]]:
     """Per-benchmark (EDP gain vs per-core %, vs no-TS %) for a stage."""
-    gains: Dict[str, Tuple[float, float]] = {}
-    for name in REPORTED_BENCHMARKS:
-        bm = build_benchmark(name)
-        theta = interval_problems(bm, stage)[0].equal_weight_theta()
-        syn = run_offline_benchmark(bm, stage, theta, solve_synts_poly).edp
-        pc = run_offline_benchmark(
-            bm, stage, theta, solve_per_core_ts, "per_core_ts"
-        ).edp
-        nts = run_offline_benchmark(bm, stage, theta, solve_no_ts, "no_ts").edp
-        gains[name] = (100 * (1 - syn / pc), 100 * (1 - syn / nts))
-    return gains
+    eng = engine or get_engine()
+    groups = {
+        (name, scheme): benchmark_specs(name, stage, scheme)
+        for name in REPORTED_BENCHMARKS
+        for scheme in _SCHEMES
+    }
+    flat = [spec for specs in groups.values() for spec in specs]
+    by_spec = dict(zip(flat, eng.run_cells(flat)))
+    edp = {
+        key: totalize([by_spec[s] for s in specs]).edp
+        for key, specs in groups.items()
+    }
+    return {
+        name: (
+            100 * (1 - edp[name, "synts"] / edp[name, "per_core_ts"]),
+            100 * (1 - edp[name, "synts"] / edp[name, "no_ts"]),
+        )
+        for name in REPORTED_BENCHMARKS
+    }
 
 
-def run() -> ExperimentResult:
+@cached_experiment("headline")
+def run(engine: ExperimentEngine | None = None) -> ExperimentResult:
     rows = []
     notes: Dict[str, object] = {}
     for stage in STAGES:
-        gains = stage_gains(stage)
+        gains = stage_gains(stage, engine)
         best_pc = max(v[0] for v in gains.values())
         best_nts = max(v[1] for v in gains.values())
         champion = max(gains, key=lambda k: gains[k][0])

@@ -10,11 +10,12 @@ from __future__ import annotations
 
 from repro.overhead import estimate_overhead
 
-from .common import ExperimentResult
+from .common import ExperimentResult, cached_experiment
 
 __all__ = ["run"]
 
 
+@cached_experiment("sec_6_3")
 def run() -> ExperimentResult:
     report = estimate_overhead()
     rows = [

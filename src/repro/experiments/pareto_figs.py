@@ -16,18 +16,21 @@ plots.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from repro.analysis.report import Series
-from repro.core.baselines import solve_no_ts, solve_per_core_ts
-from repro.core.pareto import TradeoffPoint, pareto_front, sweep_theta
-from repro.core.poly import solve_synts_poly
-from repro.workloads import build_benchmark
+from repro.core.pareto import TradeoffPoint, pareto_front, theta_grid
+from repro.engine import (
+    ExperimentEngine,
+    benchmark_specs,
+    cached_interval_problems,
+    get_engine,
+    totalize,
+)
 
-from .common import ExperimentResult
+from .common import ExperimentResult, cached_experiment
 
 __all__ = ["PARETO_FIGURES", "run", "run_figure", "callout_gaps"]
 
@@ -87,8 +90,60 @@ def callout_gaps(
     return energy, speed
 
 
+def _sweep_cells(
+    benchmark: str,
+    stage: str,
+    thetas: Sequence[float],
+    eng: ExperimentEngine,
+) -> Dict[str, List[TradeoffPoint]]:
+    """Theta sweeps for the three schemes, as one engine fan-out.
+
+    Equivalent to :func:`repro.core.pareto.sweep_theta` per scheme,
+    but every (scheme, theta, interval) cell is submitted at once, so
+    a parallel engine sweeps whole figures concurrently and repeated
+    cells (across figures, sessions) come from the cache.
+    """
+    schemes = {
+        "SynTS": "synts",
+        "Per-core TS": "per_core_ts",
+        "No TS": "no_ts",
+    }
+    groups: Dict[Tuple[str, float], Tuple] = {}
+    for scheme in schemes.values():
+        for theta in thetas:
+            groups[scheme, float(theta)] = benchmark_specs(
+                benchmark, stage, scheme, theta=float(theta)
+            )
+    # theta=None (equal-weight), not an explicit theta: the nominal
+    # solver ignores theta, and this keying makes the cells identical
+    # to the ones fig_6_18 submits, so they are shared via the cache
+    nominal_specs = benchmark_specs(benchmark, stage, "nominal")
+    flat = [s for specs in groups.values() for s in specs] + list(nominal_specs)
+    by_spec = dict(zip(flat, eng.run_cells(flat)))
+
+    nominal = totalize([by_spec[s] for s in nominal_specs])
+    sweeps: Dict[str, List[TradeoffPoint]] = {}
+    for label, scheme in schemes.items():
+        points = []
+        for theta in thetas:
+            totals = totalize([by_spec[s] for s in groups[scheme, float(theta)]])
+            points.append(
+                TradeoffPoint(
+                    theta=float(theta),
+                    time=totals.total_time / nominal.total_time,
+                    energy=totals.total_energy / nominal.total_energy,
+                )
+            )
+        sweeps[label] = points
+    return sweeps
+
+
+@cached_experiment("pareto_figure")
 def run_figure(
-    figure_id: str, n_thetas: int = 21, decades: float = 2.0
+    figure_id: str,
+    n_thetas: int = 21,
+    decades: float = 2.0,
+    engine: ExperimentEngine | None = None,
 ) -> ExperimentResult:
     """Regenerate one of Figs. 6.11-6.16."""
     if figure_id not in PARETO_FIGURES:
@@ -96,18 +151,12 @@ def run_figure(
             f"unknown figure {figure_id!r}; have {sorted(PARETO_FIGURES)}"
         )
     benchmark, stage, paper_energy, paper_speed = PARETO_FIGURES[figure_id]
-    bm = build_benchmark(benchmark)
-    from repro.core.pareto import theta_grid
-    from repro.core.runner import interval_problems
-
-    thetas = theta_grid(interval_problems(bm, stage), n_thetas, decades)
-    sweeps = {
-        "SynTS": sweep_theta(bm, stage, solve_synts_poly, thetas),
-        "Per-core TS": sweep_theta(
-            bm, stage, solve_per_core_ts, thetas, scheme="per_core_ts"
-        ),
-        "No TS": sweep_theta(bm, stage, solve_no_ts, thetas, scheme="no_ts"),
-    }
+    # same per-process memo the cells use: the grid derivation shares
+    # problem construction with the cells instead of rebuilding
+    thetas = theta_grid(
+        cached_interval_problems(benchmark, stage), n_thetas, decades
+    )
+    sweeps = _sweep_cells(benchmark, stage, thetas, engine)
     series = [
         Series(name, tuple(p.time for p in pts), tuple(p.energy for p in pts))
         for name, pts in sweeps.items()
@@ -145,10 +194,14 @@ def run_figure(
     )
 
 
-def run(n_thetas: int = 21) -> Dict[str, ExperimentResult]:
+def run(
+    n_thetas: int = 21, engine: ExperimentEngine | None = None
+) -> Dict[str, ExperimentResult]:
     """Regenerate all six Pareto figures."""
+    eng = engine or get_engine()
     return {
-        fig: run_figure(fig, n_thetas=n_thetas) for fig in PARETO_FIGURES
+        fig: run_figure(fig, n_thetas=n_thetas, engine=eng)
+        for fig in PARETO_FIGURES
     }
 
 

@@ -9,11 +9,12 @@ from __future__ import annotations
 
 from repro.circuit.ring_oscillator import sweep_ring_oscillator
 
-from .common import ExperimentResult
+from .common import ExperimentResult, cached_experiment
 
 __all__ = ["run"]
 
 
+@cached_experiment("table_5_1")
 def run(n_stages: int = 5) -> ExperimentResult:
     sweep = sweep_ring_oscillator(n_stages=n_stages)
     rows = [

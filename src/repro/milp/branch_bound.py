@@ -16,7 +16,6 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
 import numpy as np
-from scipy.optimize import linprog
 
 from .problem import MILP, MILPResult, MILPStatus
 
@@ -46,6 +45,8 @@ def _solve_relaxation(
     bounds = list(base_bounds)
     for idx, (lb, ub) in extra.items():
         bounds[idx] = (lb, ub)
+    from scipy.optimize import linprog
+
     res = linprog(
         c,
         A_ub=a_ub,

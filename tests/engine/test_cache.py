@@ -1,0 +1,107 @@
+"""Result-cache behaviour: accounting, layering, disk round trips."""
+
+import json
+
+import pytest
+
+from repro.engine import ResultCache, content_key, sanitize
+
+
+class TestStats:
+    def test_miss_then_hit(self):
+        cache = ResultCache()
+        assert cache.get("k" * 64) is None
+        cache.put("k" * 64, {"v": 1})
+        assert cache.get("k" * 64) == {"v": 1}
+        assert cache.stats.misses == 1
+        assert cache.stats.hits == 1
+        assert cache.stats.puts == 1
+        assert cache.stats.hit_rate == 0.5
+
+    def test_contains_and_len(self):
+        cache = ResultCache()
+        key = content_key("x")
+        assert key not in cache
+        cache.put(key, [1, 2])
+        assert key in cache
+        assert len(cache) == 1
+
+    def test_clear_keeps_disk(self, tmp_path):
+        cache = ResultCache(cache_dir=tmp_path)
+        key = content_key("y")
+        cache.put(key, {"v": 2})
+        cache.clear()
+        assert len(cache) == 0
+        assert cache.get(key) == {"v": 2}
+        assert cache.stats.disk_hits == 1
+
+
+class TestDisk:
+    def test_round_trip_across_instances(self, tmp_path):
+        key = content_key("payload", 1)
+        first = ResultCache(cache_dir=tmp_path)
+        first.put(key, {"rows": [[1, 2.5, "a"]], "note": None})
+
+        second = ResultCache(cache_dir=tmp_path)
+        assert second.get(key) == {"rows": [[1, 2.5, "a"]], "note": None}
+        assert second.stats.disk_hits == 1
+        # promoted to memory: the next lookup does not touch disk
+        assert second.get(key) is not None
+        assert second.stats.disk_hits == 1
+
+    def test_entries_are_plain_json_files(self, tmp_path):
+        key = content_key("inspectable")
+        ResultCache(cache_dir=tmp_path).put(key, {"v": 3})
+        path = tmp_path / key[:2] / f"{key}.json"
+        assert json.loads(path.read_text()) == {"v": 3}
+
+    def test_numpy_payload_sanitised_on_put(self, tmp_path):
+        """numpy-typed values (e.g. seeds from np.arange) must not
+        crash the disk write nor leak tmp files."""
+        import numpy as np
+
+        cache = ResultCache(cache_dir=tmp_path)
+        key = content_key("np")
+        cache.put(key, {"seed": np.int64(5), "xs": np.array([1.0, 2.0])})
+        fresh = ResultCache(cache_dir=tmp_path)
+        assert fresh.get(key) == {"seed": 5, "xs": [1.0, 2.0]}
+        leftovers = [p for p in tmp_path.rglob("*.tmp")]
+        assert leftovers == []
+
+    def test_unserialisable_payload_raises_without_tmp_leak(self, tmp_path):
+        cache = ResultCache(cache_dir=tmp_path)
+        with pytest.raises(TypeError):
+            cache.put(content_key("bad"), {"obj": object()})
+        assert [p for p in tmp_path.rglob("*.tmp")] == []
+
+    def test_corrupt_entry_is_a_miss(self, tmp_path):
+        key = content_key("corrupt")
+        cache = ResultCache(cache_dir=tmp_path)
+        cache.put(key, {"v": 4})
+        path = tmp_path / key[:2] / f"{key}.json"
+        path.write_text("{not json")
+        fresh = ResultCache(cache_dir=tmp_path)
+        assert fresh.get(key) is None
+        assert fresh.stats.misses == 1
+
+
+class TestKeys:
+    def test_content_key_is_canonical(self):
+        assert content_key({"a": 1, "b": 2}) == content_key({"b": 2, "a": 1})
+        assert content_key([1, 2]) == content_key((1, 2))
+        assert content_key("a") != content_key("b")
+
+    def test_sanitize_rejects_rich_objects(self):
+        with pytest.raises(TypeError):
+            sanitize(object())
+
+    def test_sanitize_numpy(self):
+        import numpy as np
+
+        out = sanitize(
+            {"f": np.float64(1.5), "i": np.int64(2), "b": np.bool_(True),
+             "arr": np.arange(3)}
+        )
+        assert out == {"f": 1.5, "i": 2, "b": True, "arr": [0, 1, 2]}
+        assert type(out["f"]) is float and type(out["i"]) is int
+        assert type(out["b"]) is bool

@@ -1,0 +1,244 @@
+"""Engine executor: dedup, cache accounting, experiment memoisation."""
+
+import numpy as np
+import pytest
+
+from repro.engine import (
+    BenchmarkTotals,
+    CellResult,
+    CellSpec,
+    ExperimentEngine,
+    benchmark_specs,
+    cell_seed,
+    compute_cell,
+    engine_session,
+    get_engine,
+    set_engine,
+    totalize,
+)
+from repro.experiments.common import ExperimentResult
+
+
+def _specs():
+    return list(
+        benchmark_specs("radix", "decode", "synts")
+        + benchmark_specs("radix", "decode", "online", seed=3, n_samp=5_000)
+    )
+
+
+class TestCells:
+    def test_compute_cell_is_deterministic(self):
+        spec = CellSpec("radix", "decode", "online", seed=11, n_samp=5_000)
+        assert compute_cell(spec) == compute_cell(spec)
+
+    def test_cell_seed_separates_coordinates(self):
+        base = CellSpec("radix", "decode", "online", seed=1)
+        other_interval = CellSpec(
+            "radix", "decode", "online", interval=1, seed=1
+        )
+        other_bench = CellSpec("fmm", "decode", "online", seed=1)
+        seeds = {cell_seed(base), cell_seed(other_interval), cell_seed(other_bench)}
+        assert len(seeds) == 3
+
+    def test_offline_cell_matches_runner(self):
+        """A cell is exactly one interval of the legacy runner path."""
+        from repro.core.poly import solve_synts_poly
+        from repro.core.runner import interval_problems, run_offline_benchmark
+        from repro.workloads import build_benchmark
+
+        bm = build_benchmark("radix")
+        theta = interval_problems(bm, "decode")[0].equal_weight_theta()
+        legacy = run_offline_benchmark(bm, "decode", theta, solve_synts_poly)
+        totals = totalize(
+            [compute_cell(s) for s in benchmark_specs("radix", "decode", "synts")]
+        )
+        assert totals.total_energy == pytest.approx(legacy.total_energy, rel=1e-12)
+        assert totals.total_time == pytest.approx(legacy.total_time, rel=1e-12)
+
+    def test_run_benchmark_cells_matches_legacy_runner(self):
+        """The runner's engine entry point twins run_offline_benchmark."""
+        from repro.core.poly import solve_synts_poly
+        from repro.core.runner import (
+            interval_problems,
+            run_benchmark_cells,
+            run_offline_benchmark,
+        )
+        from repro.workloads import build_benchmark
+
+        bm = build_benchmark("cholesky")
+        theta = interval_problems(bm, "decode")[0].equal_weight_theta()
+        legacy = run_offline_benchmark(bm, "decode", theta, solve_synts_poly)
+        totals = run_benchmark_cells(
+            "cholesky", "decode", "synts", engine=ExperimentEngine()
+        )
+        assert totals.total_energy == pytest.approx(
+            legacy.total_energy, rel=1e-12
+        )
+        assert totals.total_time == pytest.approx(legacy.total_time, rel=1e-12)
+        assert totals.n_intervals == len(bm.intervals)
+
+    def test_unknown_scheme_rejected(self):
+        with pytest.raises(ValueError):
+            CellSpec("radix", "decode", "bogus")
+
+    def test_totalize_rejects_mixed_groups(self):
+        cells = [
+            compute_cell(CellSpec("radix", "decode", "synts")),
+            compute_cell(CellSpec("radix", "decode", "nominal")),
+        ]
+        with pytest.raises(ValueError):
+            totalize(cells)
+
+    def test_result_payload_round_trip(self):
+        cell = compute_cell(CellSpec("fmm", "simple_alu", "no_ts"))
+        assert CellResult.from_payload(cell.to_payload()) == cell
+
+
+class TestRunCells:
+    def test_cache_hit_miss_accounting(self):
+        eng = ExperimentEngine()
+        specs = _specs()
+        first = eng.run_cells(specs)
+        assert eng.cells_computed == len(specs)
+        assert eng.stats.misses == len(specs)
+
+        second = eng.run_cells(specs)
+        assert second == first
+        assert eng.cells_computed == len(specs)  # nothing recomputed
+        assert eng.stats.hits == len(specs)
+
+    def test_duplicates_computed_once(self):
+        eng = ExperimentEngine()
+        spec = CellSpec("radix", "decode", "synts")
+        results = eng.run_cells([spec, spec, spec])
+        assert eng.cells_computed == 1
+        assert results[0] == results[1] == results[2]
+
+    def test_disk_cache_shared_across_engines(self, tmp_path):
+        specs = _specs()
+        cold = ExperimentEngine(cache_dir=tmp_path)
+        a = cold.run_cells(specs)
+        assert cold.cells_computed == len(specs)
+
+        warm = ExperimentEngine(cache_dir=tmp_path)
+        b = warm.run_cells(specs)
+        assert warm.cells_computed == 0
+        assert warm.stats.disk_hits == len(specs)
+        assert a == b
+
+    def test_totals_shape(self):
+        eng = ExperimentEngine()
+        totals = totalize(
+            eng.run_cells(list(benchmark_specs("radix", "decode", "synts")))
+        )
+        assert isinstance(totals, BenchmarkTotals)
+        assert totals.n_intervals == 3
+        assert totals.edp == pytest.approx(
+            totals.total_energy * totals.total_time
+        )
+
+
+class TestExperimentMemo:
+    def test_thunk_runs_once(self):
+        eng = ExperimentEngine()
+        calls = []
+
+        def thunk():
+            calls.append(1)
+            return ExperimentResult(
+                experiment_id="t", title="t", headers=["a"], rows=[(1,)]
+            )
+
+        r1 = eng.experiment(("t", 1), thunk)
+        r2 = eng.experiment(("t", 1), thunk)
+        assert len(calls) == 1
+        assert r2.experiment_id == r1.experiment_id
+        assert [tuple(r) for r in r2.rows] == [tuple(r) for r in r1.rows]
+
+    def test_disk_round_trip_preserves_render(self, tmp_path):
+        from repro.experiments import fig_4_7
+
+        with engine_session(cache_dir=tmp_path):
+            cold = fig_4_7.run()
+        with engine_session(cache_dir=tmp_path) as warm_engine:
+            warm = fig_4_7.run()
+            assert warm_engine.experiments_computed == 0
+        assert warm.render() == cold.render()
+
+    def test_mapping_results_supported(self, tmp_path):
+        eng = ExperimentEngine(cache_dir=tmp_path)
+        value = {
+            "a": ExperimentResult(experiment_id="a", title="a"),
+            "b": ExperimentResult(experiment_id="b", title="b"),
+        }
+        eng.experiment(("map",), lambda: value)
+        fresh = ExperimentEngine(cache_dir=tmp_path)
+        out = fresh.experiment(("map",), lambda: pytest.fail("must hit cache"))
+        assert list(out) == ["a", "b"]
+        assert out["a"].experiment_id == "a"
+
+
+class TestSession:
+    def test_engine_session_scopes_default(self):
+        outer = get_engine()
+        with engine_session(jobs=1) as scoped:
+            assert get_engine() is scoped
+        assert get_engine() is outer
+
+    def test_set_engine_reset(self):
+        current = get_engine()
+        try:
+            set_engine(None)
+            fresh = get_engine()
+            assert fresh is not current
+        finally:
+            set_engine(current)
+
+
+class TestCachedExperimentDecorator:
+    def test_positional_engine_accepted(self):
+        """engine passed positionally must not raise (it binds to the
+        driver's own engine parameter)."""
+        from repro.experiments import pareto_figs
+
+        eng = ExperimentEngine()
+        result = pareto_figs.run_figure("fig_6_11", 3, 2.0, eng)
+        assert result.experiment_id == "fig_6_11"
+        assert eng.experiments_computed == 1
+
+    def test_defaults_bound_into_key(self):
+        """run(x) and run(value=x) share one cache entry."""
+        from repro.experiments import pareto_figs
+
+        eng = ExperimentEngine()
+        pareto_figs.run_figure("fig_6_11", n_thetas=3, engine=eng)
+        pareto_figs.run_figure("fig_6_11", 3, engine=eng)
+        assert eng.experiments_computed == 1
+
+    def test_explicit_engine_reaches_cells(self):
+        """An ablation's engine= must run its cells, not the global."""
+        from repro.experiments.ablations import replay_penalty
+
+        eng = ExperimentEngine()
+        replay_penalty(engine=eng)
+        assert eng.cells_computed > 0
+
+    def test_main_restores_ambient_engine(self, capsys):
+        from repro.__main__ import main
+
+        with engine_session() as ambient:
+            assert main(["run", "fig_4_7"]) == 0
+            capsys.readouterr()
+            assert get_engine() is ambient
+
+
+class TestSharedFigures:
+    def test_headline_reuses_fig_6_18_cells(self):
+        """The offline cells of fig_6_18 satisfy headline entirely."""
+        from repro.experiments import fig_6_18, headline
+
+        with engine_session() as eng:
+            fig_6_18.run()
+            computed_before = eng.cells_computed
+            headline.run()
+            assert eng.cells_computed == computed_before

@@ -1,0 +1,65 @@
+"""Parallel (--jobs N) output must equal the serial reference, bit for
+bit -- the engine's core guarantee (cells are pure functions of their
+specs, online streams are derived from spec content hashes)."""
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.engine import ExperimentEngine, benchmark_specs, engine_session
+from repro.experiments import fig_6_18, table_5_1
+
+
+@pytest.fixture(scope="module")
+def parallel_engine():
+    """One shared 4-worker pool for the module (cache cleared per use)."""
+    eng = ExperimentEngine(jobs=4)
+    yield eng
+    eng.close()
+
+
+class TestExperimentEquivalence:
+    def test_table_5_1_parallel_equals_serial(self):
+        with engine_session(jobs=1):
+            serial = table_5_1.run()
+        with engine_session(jobs=4):
+            parallel = table_5_1.run()
+        assert parallel == serial
+
+    def test_fig_6_18_parallel_equals_serial(self):
+        with engine_session(jobs=1):
+            serial = fig_6_18.run()
+        with engine_session(jobs=4):
+            parallel = fig_6_18.run()
+        assert parallel == serial
+        assert [tuple(r) for r in parallel.rows] == [
+            tuple(r) for r in serial.rows
+        ]
+        assert parallel.notes == serial.notes
+
+
+class TestCellEquivalence:
+    @settings(
+        max_examples=4,
+        deadline=None,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    @given(
+        benchmark=st.sampled_from(("radix", "fmm", "cholesky")),
+        scheme=st.sampled_from(("synts", "per_core_ts", "online")),
+        seed=st.integers(min_value=0, max_value=2**31 - 1),
+    )
+    def test_random_cells_parallel_equals_serial(
+        self, parallel_engine, benchmark, scheme, seed
+    ):
+        specs = list(
+            benchmark_specs(
+                benchmark, "simple_alu", scheme, seed=seed, n_samp=5_000
+            )
+            if scheme == "online"
+            else benchmark_specs(benchmark, "simple_alu", scheme)
+        )
+        serial = [s for s in ExperimentEngine(jobs=1).run_cells(specs)]
+        parallel_engine.cache.clear()  # force real parallel computation
+        parallel = parallel_engine.run_cells(specs)
+        assert parallel == serial

@@ -37,3 +37,49 @@ class TestCLI:
     def test_requires_command(self):
         with pytest.raises(SystemExit):
             main([])
+
+
+class TestEngineCLI:
+    def test_experiment_shorthand(self, capsys):
+        """``python -m repro fig_4_7`` == ``python -m repro run fig_4_7``."""
+        assert main(["fig_4_7"]) == 0
+        out = capsys.readouterr().out
+        assert "sampling" in out.lower()
+
+    def test_jobs_flag_after_experiment(self, capsys):
+        assert main(["table_5_1", "--jobs", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "table_5_1" in out
+
+    def test_value_flag_before_shorthand_experiment(self, capsys):
+        """`-j 2 table_5_1`: the flag's value must not be mistaken
+        for the experiment token."""
+        assert main(["-j", "2", "table_5_1", "--stats"]) == 0
+        captured = capsys.readouterr()
+        assert "table_5_1" in captured.out
+        assert "jobs=2" in captured.err
+
+    def test_jobs_flag_before_subcommand(self, capsys):
+        """Pre-subcommand engine flags must actually reach the engine
+        (subparser defaults must not clobber them)."""
+        assert main(["--jobs", "2", "--stats", "run", "fig_4_7"]) == 0
+        captured = capsys.readouterr()
+        assert "sampling" in captured.out.lower()
+        assert "jobs=2" in captured.err
+
+    def test_cache_dir_warm_run_identical(self, tmp_path, capsys):
+        cache = str(tmp_path / "cache")
+        assert main(["run", "fig_4_7", "--cache-dir", cache]) == 0
+        cold = capsys.readouterr().out
+        assert main(["run", "fig_4_7", "--cache-dir", cache]) == 0
+        warm = capsys.readouterr().out
+        assert warm == cold
+
+    def test_stats_flag_reports_cache(self, capsys):
+        assert main(["run", "fig_4_7", "--stats"]) == 0
+        captured = capsys.readouterr()
+        assert "cache:" in captured.err
+
+    def test_negative_jobs_rejected(self, capsys):
+        assert main(["run", "fig_4_7", "--jobs", "-8"]) == 2
+        assert "jobs must be non-negative" in capsys.readouterr().err
