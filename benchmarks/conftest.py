@@ -8,8 +8,11 @@ regeneration takes", not micro-variance).
 Every regeneration runs inside its own engine session so figures are
 timed cold by default; the harness honours two environment knobs:
 
-* ``REPRO_BENCH_JOBS``       -- worker processes for experiment cells
+* ``REPRO_BENCH_JOBS``       -- workers for experiment cells
   (default 1: the serial reference path);
+* ``REPRO_BENCH_BACKEND``    -- executor backend name (``serial`` /
+  ``thread`` / ``process`` / ``sharded``; default: the engine's
+  jobs-based choice);
 * ``REPRO_BENCH_CACHE_DIR``  -- share an on-disk result cache across
   figures/sessions (warm-run benchmarking).
 
@@ -66,6 +69,7 @@ def regenerate(benchmark, request):
     BENCH_*.json timing entry, and return the result for shape
     assertions."""
     jobs = int(os.environ.get("REPRO_BENCH_JOBS", "1"))
+    backend = os.environ.get("REPRO_BENCH_BACKEND") or None
     cache_dir = os.environ.get("REPRO_BENCH_CACHE_DIR") or None
 
     def _run(fn, *args, **kwargs):
@@ -75,7 +79,9 @@ def regenerate(benchmark, request):
         from repro.engine.cells import _interval_problems
 
         _interval_problems.cache_clear()
-        with engine_session(jobs=jobs, cache_dir=cache_dir) as engine:
+        with engine_session(
+            jobs=jobs, cache_dir=cache_dir, backend=backend
+        ) as engine:
             start = time.perf_counter()
             result = benchmark.pedantic(
                 fn, args=args, kwargs=kwargs, rounds=1, iterations=1
@@ -85,6 +91,7 @@ def regenerate(benchmark, request):
                 "test": request.node.name,
                 "seconds": round(elapsed, 6),
                 "jobs": jobs,
+                "backend": engine.backend.describe(),
                 "cache_dir": cache_dir,
                 "cache": engine.stats.as_dict(),
                 "cells_computed": engine.cells_computed,

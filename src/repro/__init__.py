@@ -35,15 +35,33 @@ from .core import (
     solve_synts_milp,
     solve_synts_poly,
 )
+from .core import (
+    SCHEME_REGISTRY,
+    Scheme,
+    register_offline_scheme,
+    register_scheme,
+)
 from .workloads import (
     HETEROGENEOUS_BENCHMARKS,
     SPLASH2_PROFILES,
+    WORKLOAD_REGISTRY,
     build_benchmark,
+    register_synthetic,
+    register_workload,
+    reported_benchmarks,
 )
 
 __version__ = "1.0.0"
 
 __all__ = [
+    "Scheme",
+    "SCHEME_REGISTRY",
+    "register_scheme",
+    "register_offline_scheme",
+    "WORKLOAD_REGISTRY",
+    "register_workload",
+    "register_synthetic",
+    "reported_benchmarks",
     "PlatformConfig",
     "ThreadParams",
     "SynTSProblem",

@@ -2,20 +2,28 @@
 
 Usage::
 
-    python -m repro list                 # available experiments
+    python -m repro list                 # experiments, schemes, workloads
+    python -m repro --list-schemes       # scheme registry only
+    python -m repro --list-benchmarks    # workload registry only
     python -m repro run fig_6_18         # regenerate one artifact
     python -m repro fig_6_18             # shorthand for 'run fig_6_18'
     python -m repro run all --jobs 8     # parallel regeneration
+    python -m repro headline --jobs 4 --backend sharded --progress
     python -m repro table_5_1 --cache-dir .repro-cache   # warm reruns
     python -m repro ablation heterogeneity
 
 Every regeneration goes through the experiment engine:
 
-* ``--jobs N`` fans the experiment's cells out over N worker
-  processes (results are bit-identical to the serial run);
+* ``--jobs N`` fans the experiment's cells out over N workers
+  (results are bit-identical to the serial run);
+* ``--backend {serial,thread,process,sharded}`` picks the executor
+  backend (default: process pool when ``--jobs > 1``, else serial);
+  ``--shards`` sizes the sharded backend's content-keyed partitions;
 * ``--cache-dir DIR`` persists every cell and figure to a
   content-addressed on-disk cache, so repeated runs -- and figures
   sharing sub-problems -- skip the recomputation;
+* ``--progress`` streams human-readable engine progress to stderr;
+  ``--log-json`` streams one JSON event per line instead;
 * ``--stats`` prints cache hit/miss accounting to stderr.
 """
 
@@ -36,6 +44,8 @@ def _print_result(result) -> None:
 
 
 def _build_parser(experiments, ablations) -> argparse.ArgumentParser:
+    from repro.engine.backends import backend_names
+
     # engine options are accepted both before and after the subcommand.
     # SUPPRESS defaults are load-bearing: the subparser shares these
     # actions via parents, and a plain default would clobber a value
@@ -46,7 +56,19 @@ def _build_parser(experiments, ablations) -> argparse.ArgumentParser:
         "-j",
         type=int,
         default=argparse.SUPPRESS,
-        help="worker processes for experiment cells (default: serial)",
+        help="workers for experiment cells (default: serial)",
+    )
+    engine_opts.add_argument(
+        "--backend",
+        choices=backend_names(),
+        default=argparse.SUPPRESS,
+        help="executor backend (default: process when --jobs > 1)",
+    )
+    engine_opts.add_argument(
+        "--shards",
+        type=int,
+        default=argparse.SUPPRESS,
+        help="shard count for the sharded backend",
     )
     engine_opts.add_argument(
         "--cache-dir",
@@ -59,14 +81,44 @@ def _build_parser(experiments, ablations) -> argparse.ArgumentParser:
         default=argparse.SUPPRESS,
         help="print cache statistics to stderr after the run",
     )
+    engine_opts.add_argument(
+        "--progress",
+        action="store_true",
+        default=argparse.SUPPRESS,
+        help="stream human-readable engine progress to stderr",
+    )
+    engine_opts.add_argument(
+        "--log-json",
+        action="store_true",
+        default=argparse.SUPPRESS,
+        help="stream engine events as JSON lines to stderr",
+    )
     parser = argparse.ArgumentParser(
         prog="repro",
         description="SynTS reproduction: regenerate the paper's tables "
         "and figures",
         parents=[engine_opts],
     )
-    sub = parser.add_subparsers(dest="command", required=True)
-    sub.add_parser("list", help="list experiment and ablation ids")
+    parser.add_argument(
+        "--list",
+        action="store_true",
+        help="print every registry (experiments, ablations, schemes, "
+        "workloads) and exit",
+    )
+    parser.add_argument(
+        "--list-schemes",
+        action="store_true",
+        help="print the scheme registry and exit",
+    )
+    parser.add_argument(
+        "--list-benchmarks",
+        action="store_true",
+        help="print the workload registry and exit",
+    )
+    sub = parser.add_subparsers(dest="command")
+    sub.add_parser(
+        "list", help="list experiments, ablations, schemes and workloads"
+    )
     run_p = sub.add_parser(
         "run",
         help="regenerate an experiment (or 'all')",
@@ -83,7 +135,7 @@ def _build_parser(experiments, ablations) -> argparse.ArgumentParser:
 
 
 #: Engine flags that consume the next token (``--flag value`` form).
-_VALUE_FLAGS = ("--jobs", "-j", "--cache-dir")
+_VALUE_FLAGS = ("--jobs", "-j", "--cache-dir", "--backend", "--shards")
 
 
 def _normalize_argv(argv, experiments) -> list:
@@ -106,8 +158,49 @@ def _normalize_argv(argv, experiments) -> list:
     return argv
 
 
+def _print_registries(
+    experiments, ablations, schemes: bool = True, workloads: bool = True
+) -> None:
+    from repro.core.schemes import SCHEME_REGISTRY
+    from repro.workloads.registry import WORKLOAD_REGISTRY
+
+    if experiments is not None:
+        print("experiments:")
+        for name in experiments:
+            print(f"  {name}")
+        print("ablations:")
+        for name in ablations:
+            print(f"  {name}")
+    if schemes:
+        print("schemes:")
+        for scheme in SCHEME_REGISTRY:
+            tags = []
+            if scheme.needs_rng:
+                tags.append("rng")
+            if not scheme.uses_theta:
+                tags.append("theta-free")
+            suffix = f" [{', '.join(tags)}]" if tags else ""
+            print(f"  {scheme.name}{suffix}  {scheme.description}")
+    if workloads:
+        print("benchmarks:")
+        for entry in WORKLOAD_REGISTRY:
+            profile = entry.profile
+            flag = "reported" if entry.reported else "excluded"
+            print(
+                f"  {entry.name}  [{flag}]  {profile.n_threads} threads, "
+                f"{profile.n_intervals} intervals, "
+                f"heterogeneity {profile.heterogeneity:.2f}x"
+                f"  {entry.description}"
+            )
+
+
 def main(argv=None) -> int:
-    from repro.engine import ExperimentEngine, engine_session
+    from repro.engine import (
+        ExperimentEngine,
+        JsonLinesPrinter,
+        ProgressPrinter,
+        engine_session,
+    )
     from repro.experiments import EXPERIMENTS
     from repro.experiments.ablations import ABLATIONS
 
@@ -116,30 +209,55 @@ def main(argv=None) -> int:
     parser = _build_parser(EXPERIMENTS, ABLATIONS)
     args = parser.parse_args(_normalize_argv(argv, EXPERIMENTS))
 
+    if args.list or args.list_schemes or args.list_benchmarks:
+        if args.command is not None:
+            # refusing beats silently skipping the requested run
+            parser.error(
+                "--list/--list-schemes/--list-benchmarks cannot be "
+                "combined with a command"
+            )
+        _print_registries(
+            EXPERIMENTS if args.list else None,
+            ABLATIONS if args.list else None,
+            schemes=args.list or args.list_schemes,
+            workloads=args.list or args.list_benchmarks,
+        )
+        return 0
+    if args.command is None:
+        parser.error("a command is required (try 'list')")
     if args.command == "list":
-        print("experiments:")
-        for name in EXPERIMENTS:
-            print(f"  {name}")
-        print("ablations:")
-        for name in ABLATIONS:
-            print(f"  {name}")
+        _print_registries(EXPERIMENTS, ABLATIONS)
         return 0
 
     jobs = getattr(args, "jobs", None)
     cache_dir = getattr(args, "cache_dir", None)
+    backend = getattr(args, "backend", None)
+    shards = getattr(args, "shards", None)
     stats = getattr(args, "stats", False)
     try:
-        engine = ExperimentEngine(jobs=jobs, cache_dir=cache_dir)
-    except (ValueError, OSError) as exc:
+        engine = ExperimentEngine(
+            jobs=jobs, cache_dir=cache_dir, backend=backend, shards=shards
+        )
+    except (KeyError, ValueError, OSError) as exc:
         print(f"repro: {exc}", file=sys.stderr)
         return 2
+    if getattr(args, "progress", False):
+        engine.subscribe(ProgressPrinter(sys.stderr))
+    if getattr(args, "log_json", False):
+        engine.subscribe(JsonLinesPrinter(sys.stderr))
     with engine_session(engine=engine):
-        code = _dispatch(args, EXPERIMENTS, ABLATIONS)
+        try:
+            code = _dispatch(args, EXPERIMENTS, ABLATIONS)
+        except RuntimeError as exc:
+            # e.g. a process-pool worker failing a registry lookup:
+            # an actionable one-liner beats a pickled traceback
+            print(f"repro: {exc}", file=sys.stderr)
+            code = 2
         if stats:
             print(
                 f"cache: {engine.stats.as_dict()} "
                 f"cells computed: {engine.cells_computed} "
-                f"(jobs={engine.jobs})",
+                f"(jobs={engine.jobs}, backend={engine.backend.describe()})",
                 file=sys.stderr,
             )
     return code

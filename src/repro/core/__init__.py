@@ -41,6 +41,15 @@ from .runner import (
     run_offline_interval,
     run_online_benchmark,
 )
+from .schemes import (
+    SCHEME_REGISTRY,
+    Scheme,
+    SchemeRegistry,
+    get_scheme,
+    register_offline_scheme,
+    register_scheme,
+    scheme_names,
+)
 from .sync_extensions import (
     SyncSolution,
     SyncTopology,
@@ -72,6 +81,13 @@ __all__ = [
     "solve_no_ts",
     "solve_per_core_ts",
     "SOLVERS",
+    "Scheme",
+    "SchemeRegistry",
+    "SCHEME_REGISTRY",
+    "register_scheme",
+    "register_offline_scheme",
+    "get_scheme",
+    "scheme_names",
     "OnlineKnobs",
     "IntervalOutcome",
     "run_online_interval",

@@ -1,0 +1,259 @@
+"""The scheme registry: every way a cell can be solved, as data.
+
+Historically the engine carried a closed ``OFFLINE_SCHEMES`` dict plus
+an ``if spec.scheme == "online"`` special case; adding a comparison
+scheme meant editing the engine.  A :class:`Scheme` entry instead
+*declares* everything the engine needs to run it:
+
+* ``solver`` -- the interval solver.  Offline solvers take
+  ``(problem, theta) -> SynTSSolution``; RNG-driven solvers take
+  ``(problem, theta, rng, knobs) -> IntervalOutcome`` (the online
+  controller's signature).
+* ``uses_theta`` -- whether the Eq. 4.4 weight influences decisions
+  (``nominal`` ignores it: every core runs at the top voltage).
+* ``needs_rng`` -- whether the scheme draws random samples.  The
+  engine derives the stream from the cell spec's content hash
+  (:func:`repro.engine.cells.cell_seed`), so registered stochastic
+  schemes inherit the same scheduling-independence guarantee as
+  ``online``.
+
+The default :data:`SCHEME_REGISTRY` is seeded with the paper's four
+offline schemes and the online controller -- ``online`` is just
+another entry, not a code path.  New comparison schemes are a
+:func:`register_scheme` call away; for the process backend, register
+at import time of a module the workers also import (runtime
+registrations reach forked workers only when made before the pool
+starts, never reach spawned ones, and the thread/serial backends see
+them always).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, Iterator, Tuple
+
+from .baselines import solve_no_ts, solve_nominal, solve_per_core_ts
+from .online import OnlineKnobs, run_online_interval
+from .poly import solve_synts_poly
+
+__all__ = [
+    "Scheme",
+    "SchemeRegistry",
+    "SCHEME_REGISTRY",
+    "register_scheme",
+    "register_offline_scheme",
+    "get_scheme",
+    "scheme_names",
+    "scheme_fingerprint",
+]
+
+
+def _online_knobs(spec) -> OnlineKnobs:
+    """Online-controller knobs carried by a cell spec."""
+    if getattr(spec, "n_samp", None) is not None:
+        return OnlineKnobs(n_samp=spec.n_samp)
+    if getattr(spec, "sampling_fraction", None) is not None:
+        return OnlineKnobs(sampling_fraction=spec.sampling_fraction)
+    return OnlineKnobs()
+
+
+@dataclass(frozen=True)
+class Scheme:
+    """One registered way of solving an interval cell.
+
+    Attributes
+    ----------
+    name:
+        Registry key; the value cells carry in ``CellSpec.scheme``.
+    solver:
+        Interval solver (see the module docstring for the two
+        accepted signatures, selected by ``needs_rng``).
+    uses_theta:
+        Whether the Eq. 4.4 weight changes the scheme's decisions.
+    needs_rng:
+        Whether the solver consumes a random stream (derived from the
+        spec's content hash, never shared between cells).
+    description:
+        One line for ``python -m repro --list-schemes``.
+    """
+
+    name: str
+    solver: Callable
+    uses_theta: bool = True
+    needs_rng: bool = False
+    description: str = ""
+
+    def digest(self) -> Tuple[str, str, bool, bool]:
+        """Plain-data image for cache keys.
+
+        The solver is identified by its import path (callables have no
+        stable content hash), so replacing a name with a *different
+        function* changes the digest.  Best-effort by construction:
+        swapping in another lambda defined at the same spot, or
+        editing a solver's body in place, is invisible -- the
+        package-version salt in every key covers released changes.
+        """
+        solver_id = (
+            f"{getattr(self.solver, '__module__', '?')}."
+            f"{getattr(self.solver, '__qualname__', repr(self.solver))}"
+        )
+        return (self.name, solver_id, self.uses_theta, self.needs_rng)
+
+    def evaluate(self, problem, theta: float, spec) -> Tuple[float, float]:
+        """Run the scheme on one interval; return (energy, time)."""
+        if self.needs_rng:
+            # lazy: repro.core must stay importable without the engine
+            # package (which itself builds on repro.core)
+            import numpy as np
+
+            from repro.engine.cells import cell_seed
+
+            rng = np.random.default_rng(cell_seed(spec))
+            outcome = self.solver(problem, theta, rng, _online_knobs(spec))
+            return float(outcome.total_energy), float(outcome.texec)
+        solution = self.solver(problem, theta)
+        evaluation = solution.evaluation
+        return float(evaluation.total_energy), float(evaluation.texec)
+
+
+class SchemeRegistry:
+    """Name -> :class:`Scheme`, with actionable failure modes.
+
+    Duplicate registration raises (pass ``replace=True`` to override
+    deliberately); unknown lookups name the registered schemes and the
+    registration entry point.
+    """
+
+    def __init__(self) -> None:
+        self._schemes: Dict[str, Scheme] = {}
+
+    # -- registration --------------------------------------------------
+    def register(self, scheme: Scheme, *, replace: bool = False) -> Scheme:
+        if not isinstance(scheme, Scheme):
+            raise TypeError(
+                f"expected a Scheme, got {type(scheme).__name__}"
+            )
+        if scheme.name in self._schemes and not replace:
+            raise ValueError(
+                f"scheme {scheme.name!r} is already registered; pass "
+                "replace=True to override it deliberately"
+            )
+        self._schemes[scheme.name] = scheme
+        return scheme
+
+    def unregister(self, name: str) -> None:
+        if name not in self._schemes:
+            raise KeyError(self._unknown_message(name))
+        del self._schemes[name]
+
+    # -- lookup --------------------------------------------------------
+    def _unknown_message(self, name: str) -> str:
+        return (
+            f"unknown scheme {name!r}; registered schemes: "
+            f"{sorted(self._schemes)}. Register new schemes with "
+            "repro.core.schemes.register_scheme(...)"
+        )
+
+    def get(self, name: str) -> Scheme:
+        try:
+            return self._schemes[name]
+        except KeyError:
+            raise KeyError(self._unknown_message(name)) from None
+
+    def names(self) -> Tuple[str, ...]:
+        """Registered names, in registration order."""
+        return tuple(self._schemes)
+
+    def fingerprint(self) -> Tuple[Tuple[str, str, bool, bool], ...]:
+        """Stable content image of the registered set, for cache keys."""
+        return tuple(
+            self._schemes[name].digest() for name in sorted(self._schemes)
+        )
+
+    def __contains__(self, name: object) -> bool:
+        return name in self._schemes
+
+    def __iter__(self) -> Iterator[Scheme]:
+        return iter(self._schemes.values())
+
+    def __len__(self) -> int:
+        return len(self._schemes)
+
+
+#: The process-wide default registry, seeded with the paper's schemes.
+SCHEME_REGISTRY = SchemeRegistry()
+
+
+def register_scheme(scheme: Scheme, *, replace: bool = False) -> Scheme:
+    """Register a scheme with the default registry."""
+    return SCHEME_REGISTRY.register(scheme, replace=replace)
+
+
+def register_offline_scheme(
+    name: str,
+    solver: Callable,
+    *,
+    uses_theta: bool = True,
+    description: str = "",
+    replace: bool = False,
+) -> Scheme:
+    """Shorthand: register a ``(problem, theta) -> SynTSSolution`` solver."""
+    return register_scheme(
+        Scheme(
+            name=name,
+            solver=solver,
+            uses_theta=uses_theta,
+            description=description,
+        ),
+        replace=replace,
+    )
+
+
+def get_scheme(name: str) -> Scheme:
+    """Look a scheme up in the default registry (actionable KeyError)."""
+    return SCHEME_REGISTRY.get(name)
+
+
+def scheme_names() -> Tuple[str, ...]:
+    """Names registered with the default registry."""
+    return SCHEME_REGISTRY.names()
+
+
+def scheme_fingerprint() -> Tuple[Tuple[str, str, bool, bool], ...]:
+    """Default registry fingerprint (participates in cache keys)."""
+    return SCHEME_REGISTRY.fingerprint()
+
+
+# ----------------------------------------------------------------------
+# seed entries: the paper's comparison schemes (Section 6)
+# ----------------------------------------------------------------------
+register_offline_scheme(
+    "synts",
+    solve_synts_poly,
+    description="SynTS-Poly: joint (V, r) optimisation of Eq. 4.4",
+)
+register_offline_scheme(
+    "no_ts",
+    solve_no_ts,
+    description="joint DVFS with speculation disabled (r = 1)",
+)
+register_offline_scheme(
+    "nominal",
+    solve_nominal,
+    uses_theta=False,
+    description="every core at (V_max, r = 1); the normalisation baseline",
+)
+register_offline_scheme(
+    "per_core_ts",
+    solve_per_core_ts,
+    description="each core minimises en_i + theta*t_i in isolation",
+)
+register_scheme(
+    Scheme(
+        name="online",
+        solver=run_online_interval,
+        needs_rng=True,
+        description="online SynTS: sampling phase + optimised phase "
+        "(Section 4.3)",
+    )
+)

@@ -3,26 +3,41 @@
 The paper's evaluation regenerates ~14 tables/figures, each sweeping
 (benchmark x stage x scheme x interval) sub-problems.  This package
 decomposes those sweeps into pure, picklable *cells*
-(:mod:`~repro.engine.cells`), executes them serially or on a process
-pool (:mod:`~repro.engine.executor`), and memoises every result under
-content-hash keys (:mod:`~repro.engine.cache`,
+(:mod:`~repro.engine.cells`), executes them on a pluggable executor
+backend -- serial, thread pool, process pool, or content-keyed shards
+over any of them (:mod:`~repro.engine.backends`) -- and memoises every
+result under content-hash keys (:mod:`~repro.engine.cache`,
 :mod:`~repro.engine.serialize`) -- in memory within a session and
-optionally on disk across sessions (``--cache-dir``).
+optionally on disk across sessions (``--cache-dir``).  Progress is
+observable as a structured event stream
+(:mod:`~repro.engine.events`).
 
 Guarantees:
 
-* serial and parallel runs produce bit-identical results (cells are
-  pure functions of their specs; online cells derive their RNG stream
-  from the spec's content hash);
+* every backend produces bit-identical results to the serial
+  reference (cells are pure functions of their specs; stochastic
+  cells derive their RNG stream from the spec's content hash);
 * a cell shared by several figures is computed exactly once per
   session (e.g. the offline SynTS/No-TS/per-core totals shared by
-  ``headline`` and ``fig_6_18``).
+  ``headline`` and ``fig_6_18``);
+* schemes and workloads are open registries
+  (:mod:`repro.core.schemes`, :mod:`repro.workloads.registry`):
+  a new comparison scheme or synthetic workload is a registration,
+  not an engine change.
 """
 
+from .backends import (
+    ExecutorBackend,
+    ProcessBackend,
+    SerialBackend,
+    ShardedBackend,
+    ThreadBackend,
+    backend_names,
+    make_backend,
+    register_backend,
+)
 from .cache import CacheStats, ResultCache
 from .cells import (
-    OFFLINE_SCHEMES,
-    SCHEMES,
     BenchmarkTotals,
     CellResult,
     CellSpec,
@@ -32,6 +47,7 @@ from .cells import (
     compute_cell,
     totalize,
 )
+from .events import EngineEvent, EventLog, JsonLinesPrinter, ProgressPrinter
 from .executor import ExperimentEngine
 from .serialize import canonical_json, content_key, sanitize
 from .session import engine_session, get_engine, set_engine
@@ -41,10 +57,18 @@ __all__ = [
     "CacheStats",
     "CellResult",
     "CellSpec",
+    "EngineEvent",
+    "EventLog",
+    "ExecutorBackend",
     "ExperimentEngine",
-    "OFFLINE_SCHEMES",
+    "JsonLinesPrinter",
+    "ProcessBackend",
+    "ProgressPrinter",
     "ResultCache",
-    "SCHEMES",
+    "SerialBackend",
+    "ShardedBackend",
+    "ThreadBackend",
+    "backend_names",
     "benchmark_specs",
     "cached_interval_problems",
     "canonical_json",
@@ -53,6 +77,8 @@ __all__ = [
     "content_key",
     "engine_session",
     "get_engine",
+    "make_backend",
+    "register_backend",
     "sanitize",
     "set_engine",
     "totalize",

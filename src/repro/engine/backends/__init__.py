@@ -1,0 +1,108 @@
+"""Pluggable executor backends for the experiment engine.
+
+Four strategies ship in-tree, all bit-identical to the serial
+reference (enforced by the parallel-equivalence property test):
+
+* ``serial``  -- in-order, in-process; the reference path.
+* ``thread``  -- thread pool (numpy kernels release the GIL); sees
+  runtime scheme/workload registrations.
+* ``process`` -- process pool; the historical ``--jobs N`` behaviour.
+* ``sharded`` -- content-keyed shards dispatched through an inner
+  backend; the seam multi-host distribution plugs into.
+
+:func:`make_backend` builds one by name; :func:`register_backend`
+makes the set open for out-of-tree strategies.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Optional, Tuple
+
+from .base import EmitFn, ExecutorBackend, null_emit
+from .process import ProcessBackend
+from .serial import SerialBackend
+from .sharded import ShardedBackend, shard_of
+from .thread import ThreadBackend
+
+__all__ = [
+    "EmitFn",
+    "ExecutorBackend",
+    "ProcessBackend",
+    "SerialBackend",
+    "ShardedBackend",
+    "ThreadBackend",
+    "backend_names",
+    "make_backend",
+    "null_emit",
+    "register_backend",
+    "shard_of",
+]
+
+#: Backend factory signature: (workers, shards) -> backend.
+BackendFactory = Callable[[int, Optional[int]], ExecutorBackend]
+
+
+def _make_serial(workers: int, shards: Optional[int]) -> ExecutorBackend:
+    return SerialBackend()
+
+
+def _make_thread(workers: int, shards: Optional[int]) -> ExecutorBackend:
+    # the worker count is honoured exactly: --jobs 1 --backend thread
+    # really is a one-worker pool (constrained machines rely on it)
+    return ThreadBackend(workers=workers)
+
+
+def _make_process(workers: int, shards: Optional[int]) -> ExecutorBackend:
+    return ProcessBackend(workers=workers)
+
+
+def _make_sharded(workers: int, shards: Optional[int]) -> ExecutorBackend:
+    inner: ExecutorBackend = (
+        ProcessBackend(workers=workers) if workers > 1 else SerialBackend()
+    )
+    return ShardedBackend(inner=inner, n_shards=shards or max(2, workers))
+
+
+_FACTORIES: Dict[str, BackendFactory] = {
+    "serial": _make_serial,
+    "thread": _make_thread,
+    "process": _make_process,
+    "sharded": _make_sharded,
+}
+
+
+def register_backend(
+    name: str, factory: BackendFactory, *, replace: bool = False
+) -> None:
+    """Add an out-of-tree backend factory to :func:`make_backend`."""
+    if name in _FACTORIES and not replace:
+        raise ValueError(
+            f"backend {name!r} is already registered; pass replace=True "
+            "to override it deliberately"
+        )
+    _FACTORIES[name] = factory
+
+
+def backend_names() -> Tuple[str, ...]:
+    """Names :func:`make_backend` accepts."""
+    return tuple(_FACTORIES)
+
+
+def make_backend(
+    name: str, workers: int = 1, shards: Optional[int] = None
+) -> ExecutorBackend:
+    """Build a backend by registry name.
+
+    ``workers`` sizes the pool-based backends (and the sharded
+    backend's inner pool); ``shards`` sets the shard count of
+    ``sharded`` (default: ``max(2, workers)``).
+    """
+    try:
+        factory = _FACTORIES[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown backend {name!r}; registered backends: "
+            f"{sorted(_FACTORIES)}. Register new backends with "
+            "repro.engine.backends.register_backend(...)"
+        ) from None
+    return factory(max(1, int(workers)), shards)

@@ -1,0 +1,82 @@
+"""The executor-backend seam.
+
+A backend answers exactly one question: *given pending cell specs,
+produce their results* -- scheduling, worker pools and sharding are
+its business; dedup, caching and result assembly stay in
+:class:`~repro.engine.executor.ExperimentEngine`.  Because cells are
+pure functions of their specs, every backend is required to be
+bit-identical to :class:`~repro.engine.backends.serial.SerialBackend`;
+the parallel-equivalence property test enforces it for all registered
+backends.
+
+Backends receive an ``emit`` callable and report per-cell progress
+(``cell_computed``, with wall seconds where the schedule makes the
+attribution honest) plus backend-specific events (shard progress,
+pool fallbacks).  Emission must never affect results.
+
+Future multi-host distribution plugs in here: a remote backend that
+ships spec batches to other machines is just another subclass (the
+content-keyed shards of
+:class:`~repro.engine.backends.sharded.ShardedBackend` are the unit
+such a backend would distribute).
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import TYPE_CHECKING, Any, Callable, List, Optional, Sequence
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.engine.cells import CellResult, CellSpec
+
+__all__ = ["ExecutorBackend", "EmitFn", "null_emit"]
+
+#: ``emit(kind, **fields)``: the engine's event channel, handed to
+#: backends for per-cell / per-shard progress.
+EmitFn = Callable[..., None]
+
+
+def null_emit(kind: str, **fields: Any) -> None:
+    """No-op emitter for standalone backend use."""
+
+
+class ExecutorBackend(ABC):
+    """Strategy interface for computing a batch of pending cells."""
+
+    #: Stable registry name (``serial``, ``thread``, ``process``, ...).
+    name: str = "abstract"
+
+    @abstractmethod
+    def run(
+        self,
+        specs: Sequence["CellSpec"],
+        emit: EmitFn = null_emit,
+        keys: Optional[Sequence[str]] = None,
+    ) -> List["CellResult"]:
+        """Compute every spec; the result list aligns with ``specs``.
+
+        ``specs`` are already deduplicated and cache-missed by the
+        engine.  ``keys``, when given, carries the specs' content
+        keys (aligned with ``specs``) so key-consuming backends
+        (sharding, future distribution) need not recompute them.
+        Implementations must be order-preserving and bit-identical to
+        the serial reference.
+        """
+
+    def close(self) -> None:
+        """Release worker pools / remote connections (idempotent)."""
+
+    @property
+    def is_parallel(self) -> bool:
+        """Whether this backend can run cells concurrently."""
+        return False
+
+    def describe(self) -> str:
+        """Human-readable form for progress events (``process[4]``)."""
+        return self.name
+
+    def __enter__(self) -> "ExecutorBackend":
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.close()

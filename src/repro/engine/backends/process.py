@@ -1,0 +1,111 @@
+"""Process-pool backend: the engine's historical ``--jobs N`` path.
+
+Whether workers see schemes/workloads registered at *runtime* depends
+on the multiprocessing start method: ``fork`` (Linux default)
+inherits registrations made before the pool spins up, ``spawn``
+(macOS/Windows) re-imports the code and sees none, and registrations
+made after the pool exists are invisible either way.  Portable code
+should register at import time or use the thread/serial backends; a
+worker-side registry miss is converted into an actionable
+``RuntimeError`` saying exactly that.
+
+Sandboxed / fork-restricted environments (worker spawn denied, child
+killed) degrade to the serial path -- loudly, via stderr and a
+``backend_fallback`` event -- which is result-identical by
+construction.
+"""
+
+from __future__ import annotations
+
+import sys
+from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
+from typing import List, Optional, Sequence
+
+from repro.engine.cells import CellResult, CellSpec, compute_cell
+
+from .base import EmitFn, ExecutorBackend, null_emit
+from .serial import SerialBackend, _cell_fields
+
+__all__ = ["ProcessBackend"]
+
+
+class ProcessBackend(ExecutorBackend):
+    """``concurrent.futures.ProcessPoolExecutor`` over ``compute_cell``."""
+
+    name = "process"
+
+    def __init__(self, workers: int = 2) -> None:
+        if int(workers) < 1:
+            raise ValueError(f"workers must be positive, got {workers}")
+        self.workers = int(workers)
+        self._pool: Optional[ProcessPoolExecutor] = None
+
+    @property
+    def is_parallel(self) -> bool:
+        return self.workers > 1
+
+    def describe(self) -> str:
+        return f"process[{self.workers}]"
+
+    def _ensure_pool(self) -> ProcessPoolExecutor:
+        if self._pool is None:
+            self._pool = ProcessPoolExecutor(max_workers=self.workers)
+        return self._pool
+
+    def close(self) -> None:
+        if self._pool is not None:
+            self._pool.shutdown(wait=True)
+            self._pool = None
+
+    def run(
+        self,
+        specs: Sequence[CellSpec],
+        emit: EmitFn = null_emit,
+        keys: Optional[Sequence[str]] = None,
+    ) -> List[CellResult]:
+        if len(specs) <= 1:
+            # a single pending cell is cheaper in-process than a pool
+            # round-trip (and keeps tiny warm reruns pool-free)
+            return SerialBackend().run(specs, emit)
+        results: List[CellResult] = []
+        try:
+            pool = self._ensure_pool()
+            for spec, cell in zip(
+                specs, pool.map(compute_cell, specs, chunksize=1)
+            ):
+                emit("cell_computed", **_cell_fields(spec))
+                results.append(cell)
+            return results
+        except KeyError as exc:
+            # a worker failed a registry lookup the submitting process
+            # passed: almost always a runtime registration the freshly
+            # imported worker cannot see -- say so, instead of letting
+            # a bare pickled KeyError traceback surface
+            raise RuntimeError(
+                f"worker process failed a registry lookup: {exc}. "
+                "Process-pool workers re-import the code and do not "
+                "see schemes/workloads registered at runtime; use the "
+                "thread or serial backend, or register from a module "
+                "the workers import."
+            ) from exc
+        except (OSError, BrokenProcessPool) as exc:
+            print(
+                f"repro engine: parallel execution unavailable "
+                f"({exc!r}); falling back to serial",
+                file=sys.stderr,
+            )
+            emit(
+                "backend_fallback",
+                backend=self.describe(),
+                error=repr(exc),
+            )
+            broken = self._pool
+            self._pool = None
+            if broken is not None:
+                broken.shutdown(wait=False, cancel_futures=True)
+            # cells the pool delivered before breaking are valid (and
+            # already emitted); compute only the remainder serially
+            return results + SerialBackend().run(
+                specs[len(results):], emit
+            )

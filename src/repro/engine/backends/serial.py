@@ -1,0 +1,46 @@
+"""The deterministic reference backend: one cell at a time, in order."""
+
+from __future__ import annotations
+
+import time
+from typing import List, Optional, Sequence
+
+from repro.engine.cells import CellResult, CellSpec, compute_cell
+
+from .base import EmitFn, ExecutorBackend, null_emit
+
+__all__ = ["SerialBackend"]
+
+
+def _cell_fields(spec: CellSpec) -> dict:
+    return {
+        "benchmark": spec.benchmark,
+        "stage": spec.stage,
+        "scheme": spec.scheme,
+        "interval": spec.interval,
+    }
+
+
+class SerialBackend(ExecutorBackend):
+    """In-process, in-order evaluation -- the reference every other
+    backend must match bit for bit."""
+
+    name = "serial"
+
+    def run(
+        self,
+        specs: Sequence[CellSpec],
+        emit: EmitFn = null_emit,
+        keys: Optional[Sequence[str]] = None,
+    ) -> List[CellResult]:
+        results: List[CellResult] = []
+        for spec in specs:
+            start = time.perf_counter()
+            cell = compute_cell(spec)
+            emit(
+                "cell_computed",
+                seconds=round(time.perf_counter() - start, 6),
+                **_cell_fields(spec),
+            )
+            results.append(cell)
+        return results

@@ -19,7 +19,7 @@ import os
 import tempfile
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Any, Dict, Optional
+from typing import Any, Callable, Dict, Optional
 
 from .serialize import sanitize
 
@@ -34,6 +34,7 @@ class CacheStats:
     misses: int = 0
     disk_hits: int = 0
     puts: int = 0
+    corrupt: int = 0
 
     @property
     def lookups(self) -> int:
@@ -49,6 +50,7 @@ class CacheStats:
             "misses": self.misses,
             "disk_hits": self.disk_hits,
             "puts": self.puts,
+            "corrupt": self.corrupt,
             "hit_rate": round(self.hit_rate, 4),
         }
 
@@ -64,10 +66,17 @@ class ResultCache:
         ``<cache_dir>/<key[:2]>/<key>.json`` and lookups fall back to
         disk on a memory miss.  ``None`` keeps the cache in-memory
         only.
+    on_corrupt:
+        Optional ``(key, path, error)`` callback invoked when a disk
+        entry is unreadable (truncated write, bit rot); the engine
+        wires this to its event stream.  Corrupt entries are treated
+        as misses -- recomputed and atomically overwritten -- never
+        raised out of a warm rerun.
     """
 
     cache_dir: Optional[Path] = None
     stats: CacheStats = field(default_factory=CacheStats)
+    on_corrupt: Optional[Callable[[str, str, str], None]] = None
     _memory: Dict[str, Any] = field(default_factory=dict)
 
     def __post_init__(self):
@@ -92,11 +101,20 @@ class ResultCache:
             return self._memory[key]
         if self.cache_dir is not None:
             path = self._path(key)
+            payload = None
             try:
                 with open(path, "r", encoding="utf-8") as fh:
                     payload = json.load(fh)
-            except (OSError, ValueError):
-                payload = None
+            except FileNotFoundError:
+                pass
+            except (OSError, ValueError) as exc:
+                # corrupt or truncated entry (interrupted writer, bit
+                # rot): a miss, not an error -- recomputation will
+                # atomically replace the file.  Surface it so degraded
+                # shared caches are diagnosable.
+                self.stats.corrupt += 1
+                if self.on_corrupt is not None:
+                    self.on_corrupt(key, str(path), repr(exc))
             if payload is not None:
                 self._memory[key] = payload
                 self.stats.hits += 1

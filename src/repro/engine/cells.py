@@ -23,22 +23,15 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 from functools import lru_cache
-from typing import Callable, Dict, Optional, Sequence, Tuple
+from typing import Dict, Optional, Sequence, Tuple
 
-import numpy as np
-
-from repro.core.baselines import solve_no_ts, solve_nominal, solve_per_core_ts
-from repro.core.online import OnlineKnobs, run_online_interval
-from repro.core.poly import solve_synts_poly
 from repro.core.problem import SynTSProblem
-from repro.core.runner import run_offline_interval
-from repro.workloads.splash2 import SPLASH2_PROFILES
+from repro.core.schemes import SCHEME_REGISTRY
+from repro.workloads.registry import WORKLOAD_REGISTRY
 
 from .serialize import content_key
 
 __all__ = [
-    "OFFLINE_SCHEMES",
-    "SCHEMES",
     "CellSpec",
     "CellResult",
     "BenchmarkTotals",
@@ -49,17 +42,6 @@ __all__ = [
     "totalize",
 ]
 
-#: Offline scheme name -> interval solver.
-OFFLINE_SCHEMES: Dict[str, Callable] = {
-    "synts": solve_synts_poly,
-    "no_ts": solve_no_ts,
-    "nominal": solve_nominal,
-    "per_core_ts": solve_per_core_ts,
-}
-
-#: All schemes a cell can run (offline solvers plus the online controller).
-SCHEMES: Tuple[str, ...] = (*OFFLINE_SCHEMES, "online")
-
 
 @dataclass(frozen=True)
 class CellSpec:
@@ -68,8 +50,9 @@ class CellSpec:
     Attributes
     ----------
     benchmark / stage / scheme / interval:
-        The cell coordinates.  ``scheme`` is one of :data:`SCHEMES`;
-        ``interval`` indexes the benchmark's barrier intervals.
+        The cell coordinates.  ``scheme`` names an entry of
+        :data:`repro.core.schemes.SCHEME_REGISTRY`; ``interval``
+        indexes the benchmark's barrier intervals.
     theta:
         Explicit Eq. 4.4 weight; ``None`` selects the benchmark's
         equal-weight theta (the Fig. 6.18 convention), resolved from
@@ -96,9 +79,11 @@ class CellSpec:
     n_voltages: Optional[int] = None
 
     def __post_init__(self):
-        if self.scheme not in SCHEMES:
+        if self.scheme not in SCHEME_REGISTRY:
             raise ValueError(
-                f"unknown scheme {self.scheme!r}; have {sorted(SCHEMES)}"
+                f"unknown scheme {self.scheme!r}; registered: "
+                f"{sorted(SCHEME_REGISTRY.names())}. Register new "
+                "schemes with repro.core.schemes.register_scheme(...)"
             )
         if self.interval < 0:
             raise ValueError("interval must be non-negative")
@@ -123,8 +108,21 @@ class CellSpec:
         return cls(**payload)
 
     def key(self) -> str:
-        """Content-hash cache key of this cell."""
-        return content_key("cell", self.to_payload())
+        """Content-hash cache key of this cell.
+
+        The key mixes in the *content* of the registered workload and
+        scheme the cell names (profile constants, stage shapes, solver
+        identity), not just their names: re-registering a name with
+        different parameters yields different keys, so stale cached
+        results are structurally unreachable -- within a session and
+        across a shared ``--cache-dir``.
+        """
+        return content_key(
+            "cell",
+            self.to_payload(),
+            WORKLOAD_REGISTRY.get(self.benchmark).digest(),
+            list(SCHEME_REGISTRY.get(self.scheme).digest()),
+        )
 
 
 @dataclass(frozen=True)
@@ -180,14 +178,8 @@ class BenchmarkTotals:
 
 
 def n_intervals(benchmark: str) -> int:
-    """Barrier-interval count of a named SPLASH-2 benchmark."""
-    try:
-        return SPLASH2_PROFILES[benchmark].n_intervals
-    except KeyError:
-        raise KeyError(
-            f"unknown benchmark {benchmark!r}; "
-            f"available: {sorted(SPLASH2_PROFILES)}"
-        ) from None
+    """Barrier-interval count of a registered benchmark."""
+    return WORKLOAD_REGISTRY.get(benchmark).profile.n_intervals
 
 
 def benchmark_specs(
@@ -286,7 +278,13 @@ def _resolve_theta(spec: CellSpec, problems: Sequence[SynTSProblem]) -> float:
 
 
 def compute_cell(spec: CellSpec) -> CellResult:
-    """Evaluate one cell (pure function of the spec)."""
+    """Evaluate one cell (pure function of the spec).
+
+    Scheme dispatch goes through the scheme registry: the entry
+    declares its solver, theta handling and RNG needs, so ``online``
+    (and any scheme registered later) is evaluated by the same path
+    as the offline solvers.
+    """
     problems = _interval_problems(
         spec.benchmark,
         spec.stage,
@@ -301,27 +299,9 @@ def compute_cell(spec: CellSpec) -> CellResult:
         )
     theta = _resolve_theta(spec, problems)
     problem = problems[spec.interval]
-
-    if spec.scheme == "online":
-        if spec.n_samp is not None:
-            knobs = OnlineKnobs(n_samp=spec.n_samp)
-        elif spec.sampling_fraction is not None:
-            knobs = OnlineKnobs(sampling_fraction=spec.sampling_fraction)
-        else:
-            knobs = OnlineKnobs()
-        rng = np.random.default_rng(cell_seed(spec))
-        outcome = run_online_interval(problem, theta, rng, knobs)
-        energy, time = outcome.total_energy, outcome.texec
-    else:
-        solution = run_offline_interval(
-            problem, theta, OFFLINE_SCHEMES[spec.scheme]
-        )
-        energy = solution.evaluation.total_energy
-        time = solution.evaluation.texec
-
-    return CellResult(
-        spec=spec, theta=theta, energy=float(energy), time=float(time)
-    )
+    scheme = SCHEME_REGISTRY.get(spec.scheme)
+    energy, time = scheme.evaluate(problem, theta, spec)
+    return CellResult(spec=spec, theta=theta, energy=energy, time=time)
 
 
 def totalize(cells: Sequence[CellResult]) -> BenchmarkTotals:

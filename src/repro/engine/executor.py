@@ -4,15 +4,22 @@
 CLI and the benchmark harness go through:
 
 * ``run_cells(specs)`` -- evaluate experiment cells, deduplicated and
-  cache-backed, either serially (deterministic reference path) or on a
-  ``concurrent.futures.ProcessPoolExecutor`` (``jobs > 1``).  Both
-  paths produce bit-identical :class:`~repro.engine.cells.CellResult`
-  lists because cells are pure functions of their specs.
+  cache-backed, on a pluggable :class:`ExecutorBackend` (serial,
+  thread pool, process pool, or content-keyed shards over any of
+  them).  Every backend produces bit-identical
+  :class:`~repro.engine.cells.CellResult` lists because cells are pure
+  functions of their specs.
 * ``experiment(key_parts, thunk)`` -- whole-figure memoisation: the
   thunk's :class:`~repro.experiments.common.ExperimentResult` (or dict
   of them) is cached under a content key, in memory and -- when the
   engine has a ``cache_dir`` -- on disk, so a warm rerun of e.g.
   ``table_5_1`` skips the transient circuit simulation entirely.
+
+Progress is observable: subscribe a callback (or the CLI's
+``--progress`` / ``--log-json`` printers) and the engine emits
+:class:`~repro.engine.events.EngineEvent`s for every cache hit, cell
+computation, shard, corrupt cache entry and experiment memo decision.
+Events never influence results.
 
 The engine never mutates global state; sessions are managed by
 :mod:`repro.engine.session`.
@@ -20,13 +27,13 @@ The engine never mutates global state; sessions are managed by
 
 from __future__ import annotations
 
-import sys
-from concurrent.futures import ProcessPoolExecutor
-from concurrent.futures.process import BrokenProcessPool
-from typing import Any, Callable, Dict, List, Optional, Sequence
+import time
+from typing import Any, Callable, Dict, List, Optional, Sequence, Union
 
+from .backends import ExecutorBackend, make_backend
 from .cache import CacheStats, ResultCache
-from .cells import CellResult, CellSpec, compute_cell
+from .cells import CellResult, CellSpec
+from .events import EngineEvent, EventCallback
 from .serialize import content_key
 
 __all__ = ["ExperimentEngine"]
@@ -68,14 +75,21 @@ class ExperimentEngine:
     Parameters
     ----------
     jobs:
-        Worker-process count for ``run_cells``.  ``None``, ``0`` or
-        ``1`` select the serial path; larger values run a process
-        pool of exactly that size (oversubscribing a small machine is
+        Worker count for pool-based backends.  ``None``, ``0`` or
+        ``1`` select the serial path; larger values run a pool of
+        exactly that size (oversubscribing a small machine is
         allowed -- results are identical either way).
     cache:
         A :class:`ResultCache`; defaults to a fresh in-memory cache.
     cache_dir:
         Convenience: build the cache with this on-disk directory.
+    backend:
+        An :class:`ExecutorBackend` instance, or a registered backend
+        name (``serial`` / ``thread`` / ``process`` / ``sharded``).
+        Default: ``process`` when ``jobs > 1``, else ``serial`` --
+        the engine's historical behaviour.
+    shards:
+        Shard count for the ``sharded`` backend (ignored otherwise).
     """
 
     def __init__(
@@ -83,18 +97,43 @@ class ExperimentEngine:
         jobs: Optional[int] = None,
         cache: Optional[ResultCache] = None,
         cache_dir: Optional[str] = None,
+        backend: Union[ExecutorBackend, str, None] = None,
+        shards: Optional[int] = None,
     ):
         if cache is not None and cache_dir is not None:
             raise ValueError("pass either cache or cache_dir, not both")
         if jobs is not None and int(jobs) < 0:
             raise ValueError(f"jobs must be non-negative, got {jobs}")
         self.jobs = max(1, int(jobs or 1))
+        if isinstance(backend, ExecutorBackend):
+            self.backend = backend
+        else:
+            name = backend or ("process" if self.jobs > 1 else "serial")
+            self.backend = make_backend(
+                name, workers=self.jobs, shards=shards
+            )
         self.cache = (
             cache
             if cache is not None
             else ResultCache(cache_dir=cache_dir)  # type: ignore[arg-type]
         )
-        self._pool: Optional[ProcessPoolExecutor] = None
+        # corrupt on-disk entries are skipped, counted and surfaced
+        # through the event stream rather than crashing warm reruns;
+        # a callback already on a caller-supplied (or shared) cache
+        # keeps firing -- this engine's emitter chains after it, and
+        # close() unchains so dead engines never receive ghost events
+        self._closed = False
+        self._previous_on_corrupt = self.cache.on_corrupt
+
+        def _chained(key: str, path: str, error: str) -> None:
+            if self._previous_on_corrupt is not None:
+                self._previous_on_corrupt(key, path, error)
+            if not self._closed:
+                self._cache_corrupt(key, path, error)
+
+        self._chained_on_corrupt = _chained
+        self.cache.on_corrupt = _chained
+        self._subscribers: List[EventCallback] = []
         self.cells_computed = 0
         self.experiments_computed = 0
 
@@ -103,27 +142,48 @@ class ExperimentEngine:
     # ------------------------------------------------------------------
     @property
     def parallel(self) -> bool:
-        return self.jobs > 1
+        """Whether the configured backend runs cells concurrently."""
+        return self.backend.is_parallel
 
     @property
     def stats(self) -> CacheStats:
         return self.cache.stats
 
-    def _ensure_pool(self) -> ProcessPoolExecutor:
-        if self._pool is None:
-            self._pool = ProcessPoolExecutor(max_workers=self.jobs)
-        return self._pool
-
     def close(self) -> None:
-        if self._pool is not None:
-            self._pool.shutdown(wait=True)
-            self._pool = None
+        self.backend.close()
+        # detach from the cache: restore the previous callback when we
+        # are still the top of the chain, and in any case stop emitting
+        # (an engine wrapped later keeps its own link to the previous)
+        self._closed = True
+        if self.cache.on_corrupt is self._chained_on_corrupt:
+            self.cache.on_corrupt = self._previous_on_corrupt
 
     def __enter__(self) -> "ExperimentEngine":
         return self
 
     def __exit__(self, *exc) -> None:
         self.close()
+
+    # ------------------------------------------------------------------
+    # events
+    # ------------------------------------------------------------------
+    def subscribe(self, callback: EventCallback) -> EventCallback:
+        """Register an event callback; returns it (for unsubscribe)."""
+        self._subscribers.append(callback)
+        return callback
+
+    def unsubscribe(self, callback: EventCallback) -> None:
+        self._subscribers.remove(callback)
+
+    def _emit(self, kind: str, **data: Any) -> None:
+        if not self._subscribers:
+            return
+        event = EngineEvent(kind, data)
+        for callback in self._subscribers:
+            callback(event)
+
+    def _cache_corrupt(self, key: str, path: str, error: str) -> None:
+        self._emit("cache_corrupt", key=key, path=path, error=error)
 
     # ------------------------------------------------------------------
     # cell execution
@@ -133,11 +193,12 @@ class ExperimentEngine:
 
         Duplicate specs are computed once.  Cached cells (from this
         session or a shared ``cache_dir``) are never recomputed.
-        Scheduling cannot affect values -- cells are pure -- so the
-        serial and parallel paths agree bit-for-bit.
+        Scheduling cannot affect values -- cells are pure -- so every
+        backend agrees with the serial reference bit-for-bit.
         """
         keys = [spec.key() for spec in specs]
         results: Dict[str, CellResult] = {}
+        cached: List[CellSpec] = []
         pending: List[CellSpec] = []
         pending_keys: List[str] = []
         for spec, key in zip(specs, keys):
@@ -146,44 +207,45 @@ class ExperimentEngine:
             payload = self.cache.get(key)
             if payload is not None:
                 results[key] = CellResult.from_payload(payload)
+                cached.append(spec)
             else:
                 results[key] = None  # type: ignore[assignment]
                 pending.append(spec)
                 pending_keys.append(key)
 
+        self._emit(
+            "batch_started",
+            n_cells=len(specs),
+            n_unique=len(cached) + len(pending),
+            n_cached=len(cached),
+            n_pending=len(pending),
+            backend=self.backend.describe(),
+        )
+        for spec in cached:
+            self._emit(
+                "cell_cached",
+                benchmark=spec.benchmark,
+                stage=spec.stage,
+                scheme=spec.scheme,
+                interval=spec.interval,
+            )
+
         if pending:
-            if self.parallel and len(pending) > 1:
-                computed = self._compute_parallel(pending)
-            else:
-                computed = [compute_cell(spec) for spec in pending]
+            start = time.perf_counter()
+            computed = self.backend.run(
+                pending, self._emit, keys=pending_keys
+            )
             self.cells_computed += len(computed)
             for key, cell in zip(pending_keys, computed):
                 self.cache.put(key, cell.to_payload())
                 results[key] = cell
+            self._emit(
+                "batch_finished",
+                n_computed=len(computed),
+                seconds=round(time.perf_counter() - start, 6),
+            )
 
         return [results[key] for key in keys]
-
-    def _compute_parallel(
-        self, specs: Sequence[CellSpec]
-    ) -> List[CellResult]:
-        try:
-            pool = self._ensure_pool()
-            return list(pool.map(compute_cell, specs, chunksize=1))
-        except (OSError, BrokenProcessPool) as exc:
-            # sandboxed / fork-restricted environments (worker spawn
-            # denied, child killed): fall back to the serial path
-            # (identical results by construction) -- loudly, so a
-            # degraded --jobs run is diagnosable
-            print(
-                f"repro engine: parallel execution unavailable "
-                f"({exc!r}); falling back to serial",
-                file=sys.stderr,
-            )
-            broken = self._pool
-            self._pool = None
-            if broken is not None:
-                broken.shutdown(wait=False, cancel_futures=True)
-            return [compute_cell(spec) for spec in specs]
 
     # ------------------------------------------------------------------
     # experiment-level memoisation
@@ -198,10 +260,13 @@ class ExperimentEngine:
         produces an ``ExperimentResult`` or a dict of them.
         """
         key = content_key("experiment", list(key_parts))
+        label = str(key_parts[0]) if len(key_parts) else ""
         payload = self.cache.get(key)
         if payload is not None:
+            self._emit("experiment_cached", experiment=label)
             return _decode_value(payload)
         value = thunk()
         self.experiments_computed += 1
         self.cache.put(key, _encode_value(value))
+        self._emit("experiment_computed", experiment=label)
         return value

@@ -39,6 +39,8 @@ def engine_session(
     jobs: Optional[int] = None,
     cache_dir: Optional[str] = None,
     engine: Optional[ExperimentEngine] = None,
+    backend: Optional[str] = None,
+    shards: Optional[int] = None,
 ) -> Iterator[ExperimentEngine]:
     """Scope a configured (or prebuilt) engine as the session default.
 
@@ -46,8 +48,10 @@ def engine_session(
     worker pool is shut down.
     """
     if engine is None:
-        engine = ExperimentEngine(jobs=jobs, cache_dir=cache_dir)
-    elif jobs is not None or cache_dir is not None:
+        engine = ExperimentEngine(
+            jobs=jobs, cache_dir=cache_dir, backend=backend, shards=shards
+        )
+    elif any(opt is not None for opt in (jobs, cache_dir, backend, shards)):
         raise ValueError("pass either a prebuilt engine or its options")
     previous = _default_engine
     set_engine(engine)

@@ -23,7 +23,23 @@ __all__ = [
     "REPORTED_BENCHMARKS",
     "STAGES",
     "cached_experiment",
+    "reported_benchmarks",
 ]
+
+
+def reported_benchmarks() -> Tuple[str, ...]:
+    """The benchmarks the result figures enumerate *right now*.
+
+    Delegates to the workload registry: the paper's seven
+    heterogeneous SPLASH-2 programs plus anything registered with
+    ``reported=True`` (e.g. a synthetic scenario), in registration
+    order.  Drivers that call this instead of the static
+    :data:`REPORTED_BENCHMARKS` pick registered workloads up with no
+    code change.
+    """
+    from repro.workloads.registry import reported_benchmarks as _reported
+
+    return _reported()
 
 
 def cached_experiment(exp_id: str):
@@ -65,7 +81,19 @@ def cached_experiment(exp_id: str):
                 for name, value in bound.arguments.items()
                 if name != "engine"
             )
-            key = (exp_id, fn.__qualname__, arguments)
+            # the registered scheme/workload *content* participates
+            # too: registering a synthetic workload, adding a scheme,
+            # or re-registering a name with different parameters must
+            # invalidate memoised figures instead of serving results
+            # computed over yesterday's benchmark list
+            from repro.core.schemes import scheme_fingerprint
+            from repro.workloads.registry import workload_fingerprint
+
+            registries = (
+                [list(entry) for entry in scheme_fingerprint()],
+                [[name, digest] for name, digest in workload_fingerprint()],
+            )
+            key = (exp_id, fn.__qualname__, arguments, registries)
             if forwards_engine:
                 bound.arguments["engine"] = eng
             return eng.experiment(

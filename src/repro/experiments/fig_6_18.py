@@ -30,10 +30,10 @@ from repro.engine import (
 )
 
 from .common import (
-    REPORTED_BENCHMARKS,
     STAGES,
     ExperimentResult,
     cached_experiment,
+    reported_benchmarks,
 )
 
 __all__ = ["StagePanel", "run", "run_stage"]
@@ -76,7 +76,7 @@ def _stage_specs(
 ) -> Dict[Tuple[str, str], Tuple[CellSpec, ...]]:
     """(benchmark, scheme) -> interval cells for one panel."""
     groups: Dict[Tuple[str, str], Tuple[CellSpec, ...]] = {}
-    for name in REPORTED_BENCHMARKS:
+    for name in reported_benchmarks():
         groups[name, "synts"] = benchmark_specs(name, stage, "synts")
         groups[name, "online"] = benchmark_specs(
             name, stage, "online", seed=seed, n_samp=_n_samp_for(name)
@@ -98,8 +98,9 @@ def run_stage(
         for key, specs in groups.items()
     }
 
+    benchmarks = reported_benchmarks()
     online, no_ts, nominal, per_core = [], [], [], []
-    for name in REPORTED_BENCHMARKS:
+    for name in benchmarks:
         ref = totals[name, "synts"].edp
         online.append(totals[name, "online"].edp / ref)
         no_ts.append(totals[name, "no_ts"].edp / ref)
@@ -107,7 +108,7 @@ def run_stage(
         per_core.append(totals[name, "per_core_ts"].edp / ref)
     return StagePanel(
         stage=stage,
-        benchmarks=REPORTED_BENCHMARKS,
+        benchmarks=benchmarks,
         synts_online=tuple(online),
         no_ts=tuple(no_ts),
         nominal=tuple(nominal),

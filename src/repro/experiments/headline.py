@@ -25,10 +25,10 @@ from repro.engine import (
 )
 
 from .common import (
-    REPORTED_BENCHMARKS,
     STAGES,
     ExperimentResult,
     cached_experiment,
+    reported_benchmarks,
 )
 
 __all__ = ["run", "stage_gains"]
@@ -42,11 +42,16 @@ _SCHEMES = ("synts", "per_core_ts", "no_ts")
 def stage_gains(
     stage: str, engine: ExperimentEngine | None = None
 ) -> Dict[str, Tuple[float, float]]:
-    """Per-benchmark (EDP gain vs per-core %, vs no-TS %) for a stage."""
+    """Per-benchmark (EDP gain vs per-core %, vs no-TS %) for a stage.
+
+    Enumerates the workload registry's *reported* set, so registered
+    synthetic workloads join the comparison with no driver change.
+    """
     eng = engine or get_engine()
+    benchmarks = reported_benchmarks()
     groups = {
         (name, scheme): benchmark_specs(name, stage, scheme)
-        for name in REPORTED_BENCHMARKS
+        for name in benchmarks
         for scheme in _SCHEMES
     }
     flat = [spec for specs in groups.values() for spec in specs]
@@ -60,7 +65,7 @@ def stage_gains(
             100 * (1 - edp[name, "synts"] / edp[name, "per_core_ts"]),
             100 * (1 - edp[name, "synts"] / edp[name, "no_ts"]),
         )
-        for name in REPORTED_BENCHMARKS
+        for name in benchmarks
     }
 
 

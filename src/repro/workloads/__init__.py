@@ -1,5 +1,7 @@
-"""Workload substrate: SPLASH-2 benchmark profiles, operand trace
-generation and cross-layer characterisation (paper Sections 5.2-5.4)."""
+"""Workload substrate: SPLASH-2 benchmark profiles, the open workload
+registry (plus a deterministic synthetic-workload generator), operand
+trace generation and cross-layer characterisation (paper Sections
+5.2-5.4)."""
 
 from .characterization import (
     RADIX_LIKE_PROFILES,
@@ -7,6 +9,20 @@ from .characterization import (
     characterize_threads,
 )
 from .model import BarrierInterval, Benchmark, ThreadWorkload
+from .registry import (
+    WORKLOAD_REGISTRY,
+    WorkloadEntry,
+    WorkloadRegistry,
+    build_benchmark,
+    get_workload,
+    register_synthetic,
+    register_workload,
+    reported_benchmarks,
+    synthetic_profile,
+    unregister_workload,
+    workload_fingerprint,
+    workload_names,
+)
 from .splash2 import (
     EXCLUDED_BENCHMARKS,
     HETEROGENEOUS_BENCHMARKS,
@@ -14,7 +30,6 @@ from .splash2 import (
     STAGE_SHAPES,
     BenchmarkProfile,
     StageErrorShape,
-    build_benchmark,
     thread_error_function,
 )
 from .traces import OperandProfile, TraceGenerator
@@ -31,6 +46,17 @@ __all__ = [
     "EXCLUDED_BENCHMARKS",
     "build_benchmark",
     "thread_error_function",
+    "WorkloadEntry",
+    "WorkloadRegistry",
+    "WORKLOAD_REGISTRY",
+    "register_workload",
+    "register_synthetic",
+    "unregister_workload",
+    "get_workload",
+    "workload_names",
+    "reported_benchmarks",
+    "workload_fingerprint",
+    "synthetic_profile",
     "OperandProfile",
     "TraceGenerator",
     "ThreadCharacterization",

@@ -30,7 +30,7 @@ from typing import Dict, Mapping, Sequence, Tuple
 
 from repro.errors.probability import BetaTailErrorFunction, ErrorFunction
 
-from .model import BarrierInterval, Benchmark, ThreadWorkload
+from .model import Benchmark
 
 __all__ = [
     "StageErrorShape",
@@ -232,10 +232,17 @@ EXCLUDED_BENCHMARKS: Tuple[str, ...] = ("fft", "ocean", "water_sp")
 
 
 def thread_error_function(
-    profile: BenchmarkProfile, stage: str, thread: int
+    profile: BenchmarkProfile,
+    stage: str,
+    thread: int,
+    shapes: Mapping[str, StageErrorShape] | None = None,
 ) -> ErrorFunction:
-    """The calibrated Beta-tail error function of one thread/stage."""
-    shape = STAGE_SHAPES[stage]
+    """The calibrated Beta-tail error function of one thread/stage.
+
+    ``shapes`` overrides the paper's :data:`STAGE_SHAPES` (registry
+    entries with their own per-stage error tails pass theirs).
+    """
+    shape = (shapes if shapes is not None else STAGE_SHAPES)[stage]
     mult = profile.thread_multipliers[thread] * profile.error_scale
     damped = mult**shape.sensitivity
     return BetaTailErrorFunction(
@@ -250,35 +257,13 @@ def thread_error_function(
 def build_benchmark(
     name: str, stages: Sequence[str] | None = None
 ) -> Benchmark:
-    """Materialise a :class:`Benchmark` from its profile.
+    """Materialise a registered :class:`Benchmark` by name.
 
-    ``stages`` defaults to all three analysed pipe stages; each thread
-    carries one error function per stage.
+    Delegates to the workload registry
+    (:func:`repro.workloads.registry.build_benchmark`), which is
+    seeded with these SPLASH-2 profiles -- kept here so the historic
+    ``splash2.build_benchmark`` import path keeps working.
     """
-    try:
-        profile = SPLASH2_PROFILES[name]
-    except KeyError:
-        raise KeyError(
-            f"unknown benchmark {name!r}; available: {sorted(SPLASH2_PROFILES)}"
-        ) from None
-    stage_list = list(stages) if stages is not None else list(STAGE_SHAPES)
+    from .registry import build_benchmark as _build
 
-    intervals = []
-    for k in range(profile.n_intervals):
-        drift = profile.interval_drift[k]
-        threads = tuple(
-            ThreadWorkload(
-                instructions=max(1, int(profile.instructions[i] * drift)),
-                cpi_base=profile.cpi_base[i],
-                error_functions={
-                    s: thread_error_function(profile, s, i) for s in stage_list
-                },
-            )
-            for i in range(profile.n_threads)
-        )
-        intervals.append(BarrierInterval(threads=threads))
-    return Benchmark(
-        name=name,
-        intervals=tuple(intervals),
-        heterogeneous=profile.heterogeneity > 1.1,
-    )
+    return _build(name, stages=stages)

@@ -1,0 +1,265 @@
+"""Executor backends: factory, sharding determinism, event stream."""
+
+import pytest
+
+from repro.engine import (
+    CellSpec,
+    EventLog,
+    ExperimentEngine,
+    ProcessBackend,
+    SerialBackend,
+    ShardedBackend,
+    ThreadBackend,
+    backend_names,
+    benchmark_specs,
+    make_backend,
+)
+from repro.engine.backends import register_backend
+from repro.engine.backends.sharded import shard_of
+
+
+def _specs():
+    return list(
+        benchmark_specs("radix", "decode", "synts")
+        + benchmark_specs("fmm", "decode", "nominal")
+    )
+
+
+class TestFactory:
+    def test_four_backends_registered(self):
+        assert {"serial", "thread", "process", "sharded"} <= set(
+            backend_names()
+        )
+
+    def test_make_by_name(self):
+        assert isinstance(make_backend("serial"), SerialBackend)
+        assert isinstance(make_backend("thread", workers=3), ThreadBackend)
+        assert isinstance(make_backend("process", workers=3), ProcessBackend)
+        sharded = make_backend("sharded", workers=1, shards=5)
+        assert isinstance(sharded, ShardedBackend)
+        assert sharded.n_shards == 5
+        assert isinstance(sharded.inner, SerialBackend)
+
+    def test_sharded_wraps_process_pool_when_parallel(self):
+        sharded = make_backend("sharded", workers=3)
+        assert isinstance(sharded.inner, ProcessBackend)
+        assert sharded.inner.workers == 3
+
+    def test_unknown_backend_error_is_actionable(self):
+        with pytest.raises(KeyError) as err:
+            make_backend("quantum")
+        message = str(err.value)
+        assert "quantum" in message
+        assert "serial" in message
+        assert "register_backend" in message
+
+    def test_duplicate_backend_registration_rejected(self):
+        with pytest.raises(ValueError, match="already registered"):
+            register_backend("serial", lambda workers, shards: SerialBackend())
+
+    def test_engine_accepts_backend_instance(self):
+        backend = SerialBackend()
+        eng = ExperimentEngine(backend=backend)
+        assert eng.backend is backend
+
+    def test_engine_default_backend_tracks_jobs(self):
+        assert isinstance(ExperimentEngine().backend, SerialBackend)
+        eng = ExperimentEngine(jobs=2)
+        assert isinstance(eng.backend, ProcessBackend)
+        eng.close()
+
+    def test_explicit_single_worker_is_honoured(self):
+        """--jobs 1 --backend process must not be bumped to 2 workers."""
+        assert make_backend("process", workers=1).workers == 1
+        assert make_backend("thread", workers=1).workers == 1
+
+    def test_parallel_property_tracks_backend(self):
+        assert not ExperimentEngine().parallel
+        assert not ExperimentEngine(backend=ThreadBackend(workers=1)).parallel
+        assert ExperimentEngine(backend=ThreadBackend(workers=2)).parallel
+        assert not ExperimentEngine(
+            backend=ShardedBackend(n_shards=3)
+        ).parallel  # serial inner
+        assert ExperimentEngine(
+            backend=ShardedBackend(inner=ThreadBackend(workers=2))
+        ).parallel
+
+    def test_invalid_worker_counts_rejected(self):
+        with pytest.raises(ValueError):
+            ThreadBackend(workers=0)
+        with pytest.raises(ValueError):
+            ProcessBackend(workers=0)
+        with pytest.raises(ValueError):
+            ShardedBackend(n_shards=0)
+
+
+class TestSharding:
+    def test_shard_assignment_is_content_keyed(self):
+        spec = CellSpec("radix", "decode", "synts")
+        again = CellSpec("radix", "decode", "synts")
+        assert shard_of(spec, 7) == shard_of(again, 7)
+        assert 0 <= shard_of(spec, 7) < 7
+
+    def test_results_reassembled_in_submission_order(self):
+        specs = _specs()
+        serial = SerialBackend().run(specs)
+        sharded = ShardedBackend(n_shards=3).run(specs)
+        assert sharded == serial
+
+    def test_more_shards_than_cells(self):
+        specs = _specs()[:2]
+        sharded = ShardedBackend(n_shards=64).run(specs)
+        assert sharded == SerialBackend().run(specs)
+
+    def test_shard_events_cover_every_cell(self):
+        eng = ExperimentEngine(backend=ShardedBackend(n_shards=3))
+        log = eng.subscribe(EventLog())
+        specs = _specs()
+        eng.run_cells(specs)
+        started = log.of_kind("shard_started")
+        finished = log.of_kind("shard_finished")
+        assert len(started) == len(finished)
+        assert sum(e.get("n_cells") for e in started) == len(specs)
+        assert len(log.of_kind("cell_computed")) == len(specs)
+
+
+class TestEventStream:
+    def test_batch_and_cache_events(self):
+        eng = ExperimentEngine()
+        log = eng.subscribe(EventLog())
+        specs = _specs()
+        eng.run_cells(specs)
+        (batch,) = log.of_kind("batch_started")
+        assert batch.get("n_cells") == len(specs)
+        assert batch.get("n_pending") == len(specs)
+        assert batch.get("backend") == "serial"
+        computed = log.of_kind("cell_computed")
+        assert len(computed) == len(specs)
+        assert all(e.get("seconds") >= 0 for e in computed)
+        assert len(log.of_kind("batch_finished")) == 1
+
+        # warm rerun: everything is a cache hit
+        eng.run_cells(specs)
+        assert len(log.of_kind("cell_cached")) == len(specs)
+        assert len(log.of_kind("cell_computed")) == len(specs)
+
+    def test_no_subscribers_is_the_default(self):
+        eng = ExperimentEngine()
+        assert eng.run_cells(_specs()[:1])  # no crash, no output
+
+    def test_unsubscribe(self):
+        eng = ExperimentEngine()
+        log = eng.subscribe(EventLog())
+        eng.unsubscribe(log)
+        eng.run_cells(_specs()[:1])
+        assert log.events == []
+
+    def test_experiment_memo_events(self):
+        from repro.experiments.common import ExperimentResult
+
+        eng = ExperimentEngine()
+        log = eng.subscribe(EventLog())
+        thunk = lambda: ExperimentResult(experiment_id="t", title="t")  # noqa: E731
+        eng.experiment(("probe", 1), thunk)
+        eng.experiment(("probe", 1), thunk)
+        assert [e.get("experiment") for e in log.of_kind("experiment_computed")] == [
+            "probe"
+        ]
+        assert [e.get("experiment") for e in log.of_kind("experiment_cached")] == [
+            "probe"
+        ]
+
+    def test_json_lines_printer_emits_valid_json(self):
+        import io
+        import json
+
+        from repro.engine import JsonLinesPrinter
+
+        buffer = io.StringIO()
+        eng = ExperimentEngine()
+        eng.subscribe(JsonLinesPrinter(buffer))
+        eng.run_cells(_specs()[:3])
+        lines = [ln for ln in buffer.getvalue().splitlines() if ln]
+        records = [json.loads(ln) for ln in lines]
+        assert records[0]["event"] == "batch_started"
+        assert any(r["event"] == "cell_computed" for r in records)
+
+    def test_progress_printer_renders_batches(self):
+        import io
+
+        from repro.engine import ProgressPrinter
+
+        buffer = io.StringIO()
+        eng = ExperimentEngine()
+        eng.subscribe(ProgressPrinter(buffer))
+        eng.run_cells(_specs()[:2])
+        text = buffer.getvalue()
+        assert "2 cells" in text
+        assert "radix/decode/synts#0" in text
+
+
+class TestEngineCacheDetachment:
+    def test_closed_engine_stops_receiving_corrupt_events(self, tmp_path):
+        """close() must detach the engine from a shared cache: no
+        ghost events into dead sessions, previous callback restored."""
+        from repro.engine import ResultCache
+
+        seen = []
+        original = lambda k, p, e: seen.append(k)  # noqa: E731
+        cache = ResultCache(cache_dir=tmp_path, on_corrupt=original)
+        spec = _specs()[0]
+        first = ExperimentEngine(cache=cache)
+        first.run_cells([spec])
+        first_log = first.subscribe(EventLog())
+        first.close()
+        assert cache.on_corrupt is original  # caller's callback restored
+
+        cache.clear()  # force the disk path on the next lookup
+        path = tmp_path / spec.key()[:2] / f"{spec.key()}.json"
+        path.write_text("{broken")
+        second = ExperimentEngine(cache=cache)
+        second_log = second.subscribe(EventLog())
+        second.run_cells([spec])
+        assert first_log.of_kind("cache_corrupt") == []  # no ghosts
+        assert len(second_log.of_kind("cache_corrupt")) == 1  # live one does
+        assert seen == [spec.key()]  # original callback survived
+
+
+class TestProcessBackendRegistryVisibility:
+    def test_late_registration_fails_actionably(self):
+        """A workload registered after the worker pool exists is
+        invisible to the workers (always under spawn; under fork, for
+        anything registered post-fork).  That must surface as an
+        actionable RuntimeError, not a raw KeyError traceback."""
+        from repro.workloads import register_synthetic, unregister_workload
+
+        eng = ExperimentEngine(jobs=2, backend="process")
+        # spin the workers up on built-in cells first
+        eng.run_cells(list(benchmark_specs("radix", "decode", "nominal")))
+        register_synthetic("synth_proc_late", heterogeneity=2.0)
+        try:
+            specs = list(
+                benchmark_specs("synth_proc_late", "decode", "synts")
+            )
+            with pytest.raises(RuntimeError, match="thread or serial"):
+                eng.run_cells(specs)
+        finally:
+            eng.close()
+            unregister_workload("synth_proc_late")
+
+
+class TestThreadBackendRegistryVisibility:
+    def test_thread_backend_sees_runtime_registrations(self):
+        """Threads share the submitting process's registries -- the
+        documented reason to prefer them for ad-hoc schemes/workloads."""
+        from repro.workloads import register_synthetic, unregister_workload
+
+        register_synthetic("synth_threaded", heterogeneity=2.5)
+        try:
+            eng = ExperimentEngine(jobs=2, backend="thread")
+            specs = list(benchmark_specs("synth_threaded", "decode", "synts"))
+            results = eng.run_cells(specs)
+            assert len(results) == len(specs)
+            eng.close()
+        finally:
+            unregister_workload("synth_threaded")

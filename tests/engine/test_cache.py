@@ -83,6 +83,70 @@ class TestDisk:
         fresh = ResultCache(cache_dir=tmp_path)
         assert fresh.get(key) is None
         assert fresh.stats.misses == 1
+        assert fresh.stats.corrupt == 1
+
+    def test_corrupt_entry_invokes_callback_with_details(self, tmp_path):
+        key = content_key("corrupt-cb")
+        cache = ResultCache(cache_dir=tmp_path)
+        cache.put(key, {"v": 5})
+        path = tmp_path / key[:2] / f"{key}.json"
+        path.write_text('{"v": 5')  # truncated write
+        seen = []
+        fresh = ResultCache(
+            cache_dir=tmp_path,
+            on_corrupt=lambda k, p, err: seen.append((k, p, err)),
+        )
+        assert fresh.get(key) is None
+        assert seen and seen[0][0] == key and str(path) in seen[0][1]
+
+    def test_engine_chains_existing_on_corrupt_callback(self, tmp_path):
+        """An engine must add its event emitter after a
+        caller-supplied callback, not replace it."""
+        from repro.engine import CellSpec, EventLog, ExperimentEngine
+
+        spec = CellSpec("radix", "decode", "nominal")
+        ExperimentEngine(cache_dir=tmp_path).run_cells([spec])
+        path = tmp_path / spec.key()[:2] / f"{spec.key()}.json"
+        path.write_text("{broken")
+
+        seen = []
+        cache = ResultCache(
+            cache_dir=tmp_path,
+            on_corrupt=lambda k, p, e: seen.append(k),
+        )
+        eng = ExperimentEngine(cache=cache)
+        events = eng.subscribe(EventLog())
+        eng.run_cells([spec])
+        assert seen == [spec.key()]  # caller's callback still fires
+        assert len(events.of_kind("cache_corrupt")) == 1
+
+    def test_missing_entry_is_not_corrupt(self, tmp_path):
+        fresh = ResultCache(cache_dir=tmp_path)
+        assert fresh.get(content_key("never-written")) is None
+        assert fresh.stats.corrupt == 0
+
+    def test_corrupt_entry_overwritten_by_recompute(self, tmp_path):
+        """A warm rerun over a truncated entry recomputes and heals it."""
+        from repro.engine import CellSpec, EventLog, ExperimentEngine
+
+        spec = CellSpec("radix", "decode", "nominal")
+        cold = ExperimentEngine(cache_dir=tmp_path)
+        (expected,) = cold.run_cells([spec])
+        path = tmp_path / spec.key()[:2] / f"{spec.key()}.json"
+        path.write_text(path.read_text()[:20])  # truncate mid-payload
+
+        warm = ExperimentEngine(cache_dir=tmp_path)
+        events = warm.subscribe(EventLog())
+        (healed,) = warm.run_cells([spec])
+        assert healed == expected
+        assert warm.cells_computed == 1
+        assert warm.stats.corrupt == 1
+        corrupt_events = events.of_kind("cache_corrupt")
+        assert corrupt_events and corrupt_events[0].get("key") == spec.key()
+        # the entry is readable again
+        third = ExperimentEngine(cache_dir=tmp_path)
+        third.run_cells([spec])
+        assert third.cells_computed == 0
 
 
 class TestKeys:

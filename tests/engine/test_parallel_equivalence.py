@@ -1,21 +1,67 @@
-"""Parallel (--jobs N) output must equal the serial reference, bit for
-bit -- the engine's core guarantee (cells are pure functions of their
-specs, online streams are derived from spec content hashes)."""
+"""Every executor backend's output must equal the serial reference,
+bit for bit -- the engine's core guarantee (cells are pure functions
+of their specs, online streams are derived from spec content hashes).
+
+The backend sweep runs over the full fig_6_18 + headline cell set:
+every (benchmark, stage, scheme, interval) cell of the paper's main
+result figures, offline and online."""
 
 import pytest
 from hypothesis import HealthCheck, given, settings
 from hypothesis import strategies as st
 
-from repro.engine import ExperimentEngine, benchmark_specs, engine_session
+from repro.engine import (
+    ExperimentEngine,
+    ShardedBackend,
+    benchmark_specs,
+    engine_session,
+    make_backend,
+)
 from repro.experiments import fig_6_18, table_5_1
+from repro.experiments.common import STAGES
+
+#: Backends swept against the serial reference.  ``sharded`` wraps a
+#: 4-worker ProcessBackend -- the acceptance configuration.
+EQUIVALENCE_BACKENDS = ("thread", "process", "sharded")
+
+
+def _figure_cell_set():
+    """Every cell of fig_6_18 (superset of headline's cells)."""
+    specs = []
+    for stage in STAGES:
+        for group in fig_6_18._stage_specs(stage, seed=7).values():
+            specs.extend(group)
+    return specs
 
 
 @pytest.fixture(scope="module")
-def parallel_engine():
-    """One shared 4-worker pool for the module (cache cleared per use)."""
-    eng = ExperimentEngine(jobs=4)
-    yield eng
-    eng.close()
+def serial_reference():
+    """The reference results, computed once on the serial backend."""
+    specs = _figure_cell_set()
+    with ExperimentEngine(backend="serial") as eng:
+        return specs, eng.run_cells(specs)
+
+
+class TestBackendEquivalence:
+    @pytest.mark.parametrize("backend", EQUIVALENCE_BACKENDS)
+    def test_backend_matches_serial_on_figure_cells(
+        self, serial_reference, backend
+    ):
+        specs, reference = serial_reference
+        with ExperimentEngine(jobs=4, backend=backend) as eng:
+            results = eng.run_cells(specs)
+        assert results == reference
+
+    def test_sharded_process_backend_explicitly(self, serial_reference):
+        """ShardedBackend(ProcessBackend) -- the acceptance pairing --
+        through an explicitly constructed instance."""
+        specs, reference = serial_reference
+        backend = ShardedBackend(
+            inner=make_backend("process", workers=4), n_shards=3
+        )
+        with ExperimentEngine(jobs=4, backend=backend) as eng:
+            results = eng.run_cells(specs)
+        assert results == reference
 
 
 class TestExperimentEquivalence:
@@ -37,6 +83,13 @@ class TestExperimentEquivalence:
         ]
         assert parallel.notes == serial.notes
 
+    def test_fig_6_18_sharded_equals_serial(self):
+        with engine_session(jobs=1):
+            serial = fig_6_18.run()
+        with engine_session(jobs=2, backend="sharded"):
+            sharded = fig_6_18.run()
+        assert sharded == serial
+
 
 class TestCellEquivalence:
     @settings(
@@ -45,12 +98,13 @@ class TestCellEquivalence:
         suppress_health_check=[HealthCheck.too_slow],
     )
     @given(
+        backend=st.sampled_from(EQUIVALENCE_BACKENDS),
         benchmark=st.sampled_from(("radix", "fmm", "cholesky")),
         scheme=st.sampled_from(("synts", "per_core_ts", "online")),
         seed=st.integers(min_value=0, max_value=2**31 - 1),
     )
-    def test_random_cells_parallel_equals_serial(
-        self, parallel_engine, benchmark, scheme, seed
+    def test_random_cells_any_backend_equals_serial(
+        self, backend, benchmark, scheme, seed
     ):
         specs = list(
             benchmark_specs(
@@ -59,7 +113,6 @@ class TestCellEquivalence:
             if scheme == "online"
             else benchmark_specs(benchmark, "simple_alu", scheme)
         )
-        serial = [s for s in ExperimentEngine(jobs=1).run_cells(specs)]
-        parallel_engine.cache.clear()  # force real parallel computation
-        parallel = parallel_engine.run_cells(specs)
-        assert parallel == serial
+        serial = ExperimentEngine(backend="serial").run_cells(specs)
+        with ExperimentEngine(jobs=2, backend=backend) as eng:
+            assert eng.run_cells(specs) == serial

@@ -10,6 +10,45 @@ class TestCLI:
         assert main(["list"]) == 0
         out = capsys.readouterr().out
         assert "fig_6_18" in out and "heterogeneity" in out
+        # the list subcommand covers the registries too
+        assert "schemes:" in out and "online" in out
+        assert "benchmarks:" in out and "radix" in out
+
+    def test_list_flag(self, capsys):
+        assert main(["--list"]) == 0
+        out = capsys.readouterr().out
+        assert "experiments:" in out
+        assert "schemes:" in out
+        assert "benchmarks:" in out
+
+    def test_list_schemes_flag(self, capsys):
+        assert main(["--list-schemes"]) == 0
+        out = capsys.readouterr().out
+        assert "synts" in out and "online" in out
+        assert "benchmarks:" not in out
+
+    def test_list_benchmarks_flag(self, capsys):
+        assert main(["--list-benchmarks"]) == 0
+        out = capsys.readouterr().out
+        assert "radix" in out and "[reported]" in out
+        assert "fft" in out and "[excluded]" in out
+        assert "schemes:" not in out
+
+    def test_list_flag_with_command_rejected(self, capsys):
+        """--list must not silently swallow a requested run."""
+        with pytest.raises(SystemExit):
+            main(["--list", "fig_4_7"])
+        assert "cannot be combined" in capsys.readouterr().err
+
+    def test_list_benchmarks_sees_registrations(self, capsys):
+        from repro.workloads import register_synthetic, unregister_workload
+
+        register_synthetic("synth_cli", heterogeneity=2.0)
+        try:
+            assert main(["--list-benchmarks"]) == 0
+            assert "synth_cli" in capsys.readouterr().out
+        finally:
+            unregister_workload("synth_cli")
 
     def test_run_single(self, capsys):
         assert main(["run", "fig_4_7"]) == 0
@@ -83,3 +122,40 @@ class TestEngineCLI:
     def test_negative_jobs_rejected(self, capsys):
         assert main(["run", "fig_4_7", "--jobs", "-8"]) == 2
         assert "jobs must be non-negative" in capsys.readouterr().err
+
+    def test_backend_flag(self, capsys):
+        assert main(["fig_4_7", "--backend", "thread", "-j", "2", "--stats"]) == 0
+        captured = capsys.readouterr()
+        assert "sampling" in captured.out.lower()
+        assert "backend=thread[2]" in captured.err
+
+    def test_sharded_backend_flag(self, capsys):
+        assert main(["fig_4_7", "--backend", "sharded", "--shards", "3", "--stats"]) == 0
+        captured = capsys.readouterr()
+        assert "backend=sharded[3 x serial]" in captured.err
+
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(SystemExit):  # argparse: invalid choice
+            main(["run", "fig_4_7", "--backend", "quantum"])
+
+    def test_backend_flag_before_shorthand_experiment(self, capsys):
+        """`--backend thread fig_4_7`: the flag's value must not be
+        mistaken for the experiment token."""
+        assert main(["--backend", "thread", "-j", "2", "fig_4_7"]) == 0
+        assert "sampling" in capsys.readouterr().out.lower()
+
+    def test_progress_flag_streams_to_stderr(self, capsys):
+        assert main(["run", "fig_6_17", "--progress"]) == 0
+        captured = capsys.readouterr()
+        assert "repro engine:" in captured.err
+        assert "repro engine:" not in captured.out
+
+    def test_log_json_flag_streams_events(self, capsys):
+        import json
+
+        assert main(["run", "fig_1_2", "--log-json"]) == 0
+        captured = capsys.readouterr()
+        lines = [ln for ln in captured.err.splitlines() if ln.startswith("{")]
+        assert lines, "expected JSON event lines on stderr"
+        events = [json.loads(ln)["event"] for ln in lines]
+        assert "experiment_computed" in events or "experiment_cached" in events
