@@ -1,0 +1,205 @@
+"""Compare BENCH_*.json timing records against a committed baseline.
+
+Usage (what the CI bench-smoke job runs)::
+
+    python benchmarks/compare.py --results bench-artifacts \
+        --baseline benchmarks/baseline.json
+
+Prints one line per figure -- baseline seconds, measured seconds, and
+the speedup ratio (>1 is faster than baseline) -- and exits non-zero
+when any figure regresses by more than ``--max-regression`` (default
+25 %).  Figures absent from the baseline are reported as ``new`` and
+never fail the gate; refresh the baseline with ``--write`` after a
+deliberate performance change::
+
+    python benchmarks/compare.py --results benchmarks/results --write
+
+Wall-clock gates on shared CI runners are inherently noisy and the
+baseline machine is rarely the CI machine, so the gate is *speed
+normalised*: the baseline stores the seconds of a fixed deterministic
+calibration workload, compare-time re-measures it, and every baseline
+figure is rescaled by the machine-speed ratio before the comparison.
+On top of that the ``--min-seconds`` floor (default 0.1 s) exempts
+figures too fast for a stable ratio -- only when *both* timings sit
+below the floor, so a genuine blowup of a fast figure still fails --
+and ``REPRO_BENCH_TOLERANCE`` overrides the regression threshold
+without a workflow edit.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import time
+from pathlib import Path
+
+DEFAULT_BASELINE = Path(__file__).parent / "baseline.json"
+DEFAULT_RESULTS = Path(__file__).parent / "results"
+
+#: Key under which the calibration time travels in baseline.json.
+CALIBRATION_KEY = "_calibration_seconds"
+
+
+def calibration_seconds(rounds: int = 3) -> float:
+    """Seconds for a fixed workload resembling the benchmark mix.
+
+    Deterministic and dependency-light (numpy array ops plus a scalar
+    Python loop, roughly the solver/engine split); the minimum over a
+    few rounds damps scheduler noise.  Used to translate baseline
+    timings between machines of different speed.
+    """
+    import numpy as np
+
+    best = float("inf")
+    for _ in range(rounds):
+        start = time.perf_counter()
+        acc = 0.0
+        for _ in range(800):
+            a = np.arange(6000, dtype=float) * 1.0001
+            b = np.sort(a[::-1], kind="stable")
+            pos = np.searchsorted(b, a[:500])
+            acc += float(pos.sum())
+            for x in range(500):
+                acc += x * 1e-9
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def load_results(results_dir: Path) -> dict:
+    """``{test name: seconds}`` from every BENCH_*.json in the dir."""
+    records = {}
+    for path in sorted(results_dir.glob("BENCH_*.json")):
+        try:
+            record = json.loads(path.read_text(encoding="utf-8"))
+            records[record["test"]] = float(record["seconds"])
+        except (ValueError, KeyError) as exc:
+            print(f"warning: skipping unreadable {path.name}: {exc}")
+    return records
+
+
+def compare(
+    baseline: dict,
+    measured: dict,
+    max_regression: float,
+    min_seconds: float,
+) -> int:
+    """Print the comparison table; return the number of regressions."""
+    regressions = 0
+    width = max((len(name) for name in measured), default=10)
+    print(
+        f"{'figure':<{width}}  {'baseline':>9}  {'measured':>9}  "
+        f"{'speedup':>8}  verdict"
+    )
+    for name in sorted(measured):
+        seconds = measured[name]
+        base = baseline.get(name)
+        if base is None:
+            print(
+                f"{name:<{width}}  {'-':>9}  {seconds:>8.3f}s  "
+                f"{'-':>8}  new (no baseline)"
+            )
+            continue
+        ratio = base / seconds if seconds > 0 else float("inf")
+        if max(base, seconds) < min_seconds:
+            verdict = "ok (below timing floor)"
+        elif seconds > base * (1.0 + max_regression):
+            verdict = f"REGRESSION (> {max_regression:.0%} over baseline)"
+            regressions += 1
+        else:
+            verdict = "ok"
+        print(
+            f"{name:<{width}}  {base:>8.3f}s  {seconds:>8.3f}s  "
+            f"{ratio:>7.2f}x  {verdict}"
+        )
+    # a baseline figure with no measured record means its gate
+    # silently stopped running (renamed test, lost BENCH record) --
+    # that's a failure, not a footnote; refresh the baseline with
+    # --write when the removal is deliberate
+    missing = sorted(set(baseline) - set(measured))
+    for name in missing:
+        print(f"{name:<{width}}  MISSING (in baseline but not measured)")
+    return regressions + len(missing)
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.split("\n")[0])
+    parser.add_argument(
+        "--baseline", type=Path, default=DEFAULT_BASELINE,
+        help="committed baseline JSON (default: benchmarks/baseline.json)",
+    )
+    parser.add_argument(
+        "--results", type=Path, default=DEFAULT_RESULTS,
+        help="directory of BENCH_*.json records to compare",
+    )
+    parser.add_argument(
+        "--max-regression", type=float,
+        default=float(os.environ.get("REPRO_BENCH_TOLERANCE", "0.25")),
+        help="fail when measured > baseline * (1 + this); default 0.25",
+    )
+    parser.add_argument(
+        "--min-seconds", type=float, default=0.1,
+        help="ignore figures where both timings are below this floor "
+        "(sub-100ms figures flap a 25%% wall gate; a real blowup "
+        "crosses the floor and is still caught)",
+    )
+    parser.add_argument(
+        "--write", action="store_true",
+        help="rewrite the baseline from the measured results and exit",
+    )
+    args = parser.parse_args(argv)
+
+    measured = load_results(args.results)
+    if not measured:
+        print(f"error: no BENCH_*.json records under {args.results}")
+        return 2
+
+    if args.write:
+        # merge into the existing baseline: a partial results dir
+        # (e.g. `pytest benchmarks -k fig_6_18`) refreshes only the
+        # figures it measured and never shrinks gate coverage; remove
+        # genuinely retired figures by editing baseline.json directly
+        payload = {}
+        if args.baseline.exists():
+            payload = json.loads(args.baseline.read_text(encoding="utf-8"))
+        payload.update(measured)
+        payload[CALIBRATION_KEY] = round(calibration_seconds(), 6)
+        args.baseline.write_text(
+            json.dumps(payload, indent=2, sort_keys=True) + "\n",
+            encoding="utf-8",
+        )
+        print(
+            f"wrote {len(measured)} measured timings into {args.baseline} "
+            f"({len(payload) - 1} figures total)"
+        )
+        return 0
+
+    if not args.baseline.exists():
+        print(f"error: no baseline at {args.baseline}; run with --write first")
+        return 2
+    baseline = json.loads(args.baseline.read_text(encoding="utf-8"))
+    base_cal = baseline.pop(CALIBRATION_KEY, None)
+    if base_cal:
+        here_cal = calibration_seconds()
+        scale = here_cal / float(base_cal)
+        print(
+            f"machine-speed calibration: baseline {float(base_cal):.3f}s, "
+            f"here {here_cal:.3f}s -> baseline timings scaled x{scale:.2f}"
+        )
+        baseline = {k: v * scale for k, v in baseline.items()}
+    regressions = compare(
+        baseline, measured, args.max_regression, args.min_seconds
+    )
+    if regressions:
+        print(
+            f"\n{regressions} figure(s) regressed or went missing; "
+            "failing the gate"
+        )
+        return 1
+    print("\nno regressions beyond tolerance")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -73,12 +73,15 @@ def regenerate(benchmark, request):
     cache_dir = os.environ.get("REPRO_BENCH_CACHE_DIR") or None
 
     def _run(fn, *args, **kwargs):
-        # drop the process-global problem memo so each figure's wall
-        # time is cold regardless of which figures ran before it --
-        # otherwise the BENCH_*.json records depend on collection order
+        # drop the process-global problem and error-curve memos so
+        # each figure's wall time is cold regardless of which figures
+        # ran before it -- otherwise the BENCH_*.json records depend
+        # on collection order
         from repro.engine.cells import _interval_problems
+        from repro.errors.probability import clear_curve_cache
 
         _interval_problems.cache_clear()
+        clear_curve_cache()
         with engine_session(
             jobs=jobs, cache_dir=cache_dir, backend=backend
         ) as engine:

@@ -30,7 +30,12 @@ from .pareto import (
     sweep_theta,
     theta_grid,
 )
-from .poly import SynTSSolution, solve_synts_poly
+from .poly import (
+    SynTSSolution,
+    solve_synts_poly,
+    solve_synts_poly_batch,
+    solve_synts_poly_reference,
+)
 from .problem import SynTSProblem, problem_from_interval
 from .runner import (
     BenchmarkRun,
@@ -74,6 +79,8 @@ __all__ = [
     "problem_from_interval",
     "SynTSSolution",
     "solve_synts_poly",
+    "solve_synts_poly_batch",
+    "solve_synts_poly_reference",
     "solve_synts_brute",
     "build_synts_milp",
     "solve_synts_milp",

@@ -13,15 +13,24 @@
 
 from __future__ import annotations
 
+from typing import List, Sequence
+
 import numpy as np
 
-from .poly import SynTSSolution, solve_synts_poly
+from .poly import (
+    SynTSSolution,
+    solve_synts_poly,
+    solve_synts_poly_batch,
+    stacked_shape_groups,
+)
 from .problem import SynTSProblem
 
 __all__ = [
     "solve_nominal",
     "solve_no_ts",
+    "solve_no_ts_batch",
     "solve_per_core_ts",
+    "solve_per_core_ts_batch",
     "SOLVERS",
 ]
 
@@ -42,14 +51,12 @@ def solve_nominal(problem: SynTSProblem, theta: float = 0.0) -> SynTSSolution:
     )
 
 
-def solve_no_ts(problem: SynTSProblem, theta: float) -> SynTSSolution:
-    """Joint DVFS without speculation: Eq. 4.4 restricted to r = 1.
-
-    Runs SynTS-Poly on the r = 1 slice, then re-expresses the solution
-    in the full configuration space (TSR index of r = 1).
-    """
-    restricted = problem.restrict_tsr([1.0])
-    sol = solve_synts_poly(restricted, theta)
+def _expand_r1_solution(
+    problem: SynTSProblem, theta: float, sol: SynTSSolution
+) -> SynTSSolution:
+    """Re-express an r = 1 slice solution in the full configuration
+    space (TSR index of r = 1) -- the single assembly both the scalar
+    and batch No-TS paths share."""
     k_full = problem.config.n_tsr - 1
     indices = tuple((j, k_full) for (j, _) in sol.indices)
     evaluation = problem.evaluate_indices(indices)
@@ -58,8 +65,57 @@ def solve_no_ts(problem: SynTSProblem, theta: float) -> SynTSSolution:
         assignment=problem.assignment_from_indices(indices),
         evaluation=evaluation,
         cost=float(evaluation.cost(theta)),
-        theta=theta,
+        theta=float(theta),
         critical_thread=sol.critical_thread,
+    )
+
+
+def solve_no_ts(problem: SynTSProblem, theta: float) -> SynTSSolution:
+    """Joint DVFS without speculation: Eq. 4.4 restricted to r = 1.
+
+    Runs SynTS-Poly on the r = 1 slice, then re-expresses the solution
+    in the full configuration space (TSR index of r = 1).
+    """
+    restricted = problem.restrict_tsr([1.0])
+    return _expand_r1_solution(
+        problem, theta, solve_synts_poly(restricted, theta)
+    )
+
+
+def solve_no_ts_batch(
+    problems: Sequence[SynTSProblem], thetas: Sequence[float]
+) -> List[SynTSSolution]:
+    """Batch form of :func:`solve_no_ts` (bit-identical per interval).
+
+    The r = 1 slices of all intervals go through
+    :func:`solve_synts_poly_batch` in one pass; each solution is then
+    re-expressed through the same assembly the per-interval path uses.
+    """
+    restricted = [p.restrict_tsr([1.0]) for p in problems]
+    solutions = solve_synts_poly_batch(restricted, thetas)
+    return [
+        _expand_r1_solution(problem, theta, sol)
+        for problem, theta, sol in zip(problems, thetas, solutions)
+    ]
+
+
+def _per_core_solution(
+    problem: SynTSProblem, theta: float, flat_row: Sequence[int]
+) -> SynTSSolution:
+    """Assemble a solution from per-thread flat argmin configurations
+    -- the single assembly both per-core TS paths share (the barrier
+    max-semantics enters only here, at evaluation time)."""
+    s = problem.config.n_tsr
+    indices = tuple((int(f) // s, int(f) % s) for f in flat_row)
+    evaluation = problem.evaluate_indices(indices)
+    times_arr = np.array(evaluation.times)
+    return SynTSSolution(
+        indices=indices,
+        assignment=problem.assignment_from_indices(indices),
+        evaluation=evaluation,
+        cost=float(evaluation.cost(theta)),
+        theta=float(theta),
+        critical_thread=int(np.argmax(times_arr)),
     )
 
 
@@ -72,24 +128,36 @@ def solve_per_core_ts(problem: SynTSProblem, theta: float) -> SynTSSolution:
     """
     if theta < 0:
         raise ValueError("theta must be non-negative")
-    cfg = problem.config
-    m, s = problem.n_threads, cfg.n_tsr
+    m = problem.n_threads
     times = problem.time_table.reshape(m, -1)
     energies = problem.energy_table.reshape(m, -1)
-    indices = []
-    for i in range(m):
-        flat = int(np.argmin(energies[i] + theta * times[i]))
-        indices.append((flat // s, flat % s))
-    evaluation = problem.evaluate_indices(indices)
-    times_arr = np.array(evaluation.times)
-    return SynTSSolution(
-        indices=tuple(indices),
-        assignment=problem.assignment_from_indices(indices),
-        evaluation=evaluation,
-        cost=float(evaluation.cost(theta)),
-        theta=theta,
-        critical_thread=int(np.argmax(times_arr)),
-    )
+    flat_row = [
+        int(np.argmin(energies[i] + theta * times[i])) for i in range(m)
+    ]
+    return _per_core_solution(problem, theta, flat_row)
+
+
+def solve_per_core_ts_batch(
+    problems: Sequence[SynTSProblem], thetas: Sequence[float]
+) -> List[SynTSSolution]:
+    """Batch form of :func:`solve_per_core_ts` (bit-identical).
+
+    Same-shape interval tables are stacked and the per-core argmin
+    runs once over the whole (interval, thread) plane; ``np.argmin``
+    over the stacked axis picks the same first-minimum configuration
+    the scalar path does.
+    """
+    thetas = [float(t) for t in thetas]
+    for theta in thetas:
+        if theta < 0:
+            raise ValueError("theta must be non-negative")
+    out: List[SynTSSolution] = [None] * len(problems)  # type: ignore[list-item]
+    for members, times, energies in stacked_shape_groups(problems):
+        theta_col = np.asarray([thetas[b] for b in members])[:, None, None]
+        flat = np.argmin(energies + theta_col * times, axis=2)  # (B, m)
+        for row, b in zip(flat, members):
+            out[b] = _per_core_solution(problems[b], thetas[b], row)
+    return out
 
 
 #: Registry used by the experiment drivers.

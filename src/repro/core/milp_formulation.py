@@ -75,9 +75,23 @@ def build_synts_milp(
 
 
 def solve_synts_milp(problem: SynTSProblem, theta: float) -> SynTSSolution:
-    """Solve SynTS-OPT through the MILP route (exact)."""
-    milp, x_idx, _ = build_synts_milp(problem, theta)
-    result = solve_milp(milp)
+    """Solve SynTS-OPT through the MILP route (exact).
+
+    The branch-and-bound incumbent is seeded from the SynTS-Poly
+    solution (known optimal by Lemma 4.2.1), so best-first search
+    prunes dominated nodes from node 0; the LP bounds still have to
+    close the gap, so the solve remains an independent optimality
+    certificate for the seeded point rather than a tautology.
+    """
+    from .poly import solve_synts_poly
+
+    milp, x_idx, texec_idx = build_synts_milp(problem, theta)
+    poly = solve_synts_poly(problem, theta)
+    x0 = np.zeros(milp.n_variables)
+    for i, (j, k) in enumerate(poly.indices):
+        x0[x_idx[(i, j, k)]] = 1.0
+    x0[texec_idx] = float(poly.evaluation.texec)
+    result = solve_milp(milp, incumbent=x0)
     if result.status is not MILPStatus.OPTIMAL:
         raise RuntimeError(f"SynTS-MILP did not solve to optimality: {result.status}")
 

@@ -8,20 +8,49 @@ independently takes its cheapest configuration finishing no later than
 (Lemma 4.2.1).  Complexity O(M^2 Q^2 S^2) naively; this implementation
 sorts each thread's configurations by time and prefix-minimises energy,
 giving O(M Q S (log(QS) + M)).
+
+Two implementations share that structure:
+
+* :func:`solve_synts_poly_reference` -- the original scalar triple
+  loop, kept verbatim as the semantic reference (its ``< best - 1e-15``
+  first-wins fold defines the tie-breaking contract);
+* :func:`solve_synts_poly` -- a dense-array rewrite: every thread's
+  minEnergy tables are pruned to their dominated-configuration-free
+  staircase, all Q*S candidates of a critical thread are evaluated in
+  one vectorized pass, and the winner is extracted by replaying the
+  reference fold over the (few) running-minimum improvements.  Outputs
+  are bit-identical to the reference, tie cases included; the property
+  suite in ``tests/core/test_poly_vectorized.py`` enforces it.
+
+:func:`solve_synts_poly_batch` stacks the interval tables of several
+same-shape problems (e.g. every barrier interval of one benchmark
+stage) and solves them in a single broadcast pass -- the kernel the
+engine's :class:`~repro.engine.cells.CellBatch` dispatch feeds.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from functools import lru_cache
-from typing import List, Optional, Tuple
+from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from .model import Assignment, Evaluation
 from .problem import SynTSProblem
 
-__all__ = ["SynTSSolution", "solve_synts_poly"]
+__all__ = [
+    "SynTSSolution",
+    "solve_synts_poly",
+    "solve_synts_poly_reference",
+    "solve_synts_poly_batch",
+    "prune_dominated_tables",
+    "stacked_shape_groups",
+]
+
+#: The reference fold accepts a candidate only when it beats the
+#: incumbent by more than this margin (guards against FP noise turning
+#: exact ties into order-dependent winners).
+_TIE_EPS = 1e-15
 
 
 @dataclass(frozen=True)
@@ -52,36 +81,317 @@ class SynTSSolution:
     critical_thread: int
 
 
+def _sorted_improvement_tables(t: np.ndarray, e: np.ndarray):
+    """Stable time-sort with prefix-min energy and improvement mask.
+
+    The single definition of the tie-sensitive recurrence both table
+    forms build on: ``improved[i, pos]`` is True exactly when the
+    scalar reference's ``if e < best`` fires at ``pos`` (strict
+    improvement of the running minimum; exact energy ties keep the
+    earliest configuration).  Returns ``(order, t_sorted, e_sorted,
+    prefix_min, improved)``, all of shape (M, N).
+    """
+    order = np.argsort(t, axis=1, kind="stable")
+    t_sorted = np.take_along_axis(t, order, axis=1)
+    e_sorted = np.take_along_axis(e, order, axis=1)
+    prefix_min = np.minimum.accumulate(e_sorted, axis=1)
+    improved = np.empty(e_sorted.shape, dtype=bool)
+    improved[:, 0] = True
+    improved[:, 1:] = e_sorted[:, 1:] < prefix_min[:, :-1]
+    return order, t_sorted, e_sorted, prefix_min, improved
+
+
 def _sorted_prefix_tables(problem: SynTSProblem):
     """Per-thread configurations sorted by time with prefix-min energy.
 
     Returns ``(times_sorted, prefix_min_energy, argmin_flat_index)``
     arrays of shape (M, Q*S): ``argmin_flat_index[i, n]`` is the flat
     (j*S + k) index of the cheapest configuration of thread i among
-    its n+1 fastest configurations.
+    its n+1 fastest configurations -- the most recent strict
+    improvement, recovered as a ``np.maximum.accumulate`` over the
+    improvement positions (the scalar ``if e < best: best_idx = pos``
+    recurrence, vectorized).
     """
     t = problem.time_table.reshape(problem.n_threads, -1)
     e = problem.energy_table.reshape(problem.n_threads, -1)
-    order = np.argsort(t, axis=1, kind="stable")
-    t_sorted = np.take_along_axis(t, order, axis=1)
-    e_sorted = np.take_along_axis(e, order, axis=1)
-
-    m, n = e_sorted.shape
-    prefix_min = np.minimum.accumulate(e_sorted, axis=1)
-    # index (into the sorted order) achieving the prefix minimum
-    argmin_sorted = np.empty((m, n), dtype=np.int64)
-    for i in range(m):
-        best, best_idx = np.inf, -1
-        for pos in range(n):
-            if e_sorted[i, pos] < best:
-                best, best_idx = e_sorted[i, pos], pos
-            argmin_sorted[i, pos] = best_idx
+    order, t_sorted, _, prefix_min, improved = _sorted_improvement_tables(t, e)
+    n = t.shape[1]
+    positions = np.where(improved, np.arange(n)[None, :], 0)
+    argmin_sorted = np.maximum.accumulate(positions, axis=1)
     argmin_flat = np.take_along_axis(order, argmin_sorted, axis=1)
     return t_sorted, prefix_min, argmin_flat
 
 
+def prune_dominated_tables(
+    times: np.ndarray, energies: np.ndarray
+) -> List[Tuple[np.ndarray, np.ndarray, np.ndarray]]:
+    """Dominated-configuration-free minEnergy staircases, per thread.
+
+    For each thread (row of the (M, N) tables) drop every
+    configuration that is *no faster and no cheaper* than another --
+    exactly the entries the minEnergy lookup can never select: after
+    the stable sort by time, a configuration survives iff it strictly
+    improves the running energy minimum (exact ties keep the earliest
+    configuration, the one the reference argmin picks).  Returns, per
+    thread, ``(t_star, e_star, idx_star)``: survivor times (ascending),
+    their energies (strictly descending) and their flat (j*S+k)
+    indices.  Lookups on the pruned staircase are bit-identical to the
+    full prefix-min tables -- ``searchsorted(t_star, texec,
+    'right')-1`` lands on the same energy value and the same flat
+    index the reference recurrence would report.
+    """
+    t = np.asarray(times)
+    e = np.asarray(energies)
+    if t.ndim != 2 or t.shape != e.shape:
+        raise ValueError("need matching (M, N) time/energy tables")
+    order, t_sorted, e_sorted, _, improved = _sorted_improvement_tables(t, e)
+
+    stairs = []
+    for i in range(t.shape[0]):
+        keep = improved[i]
+        stairs.append((t_sorted[i, keep], e_sorted[i, keep], order[i, keep]))
+    return stairs
+
+
+def _fold_winner(flat_costs: np.ndarray) -> int:
+    """Replay the reference's ``< best - 1e-15`` first-wins fold.
+
+    Only positions that strictly improve the running minimum can ever
+    be accepted by the fold (the incumbent is always within 1e-15 of
+    the running prefix minimum), so the scalar replay visits just
+    those few improvements instead of all M*Q*S candidates.  Returns
+    the flat index of the winning candidate, or -1 when every
+    candidate is infeasible (+inf).
+    """
+    n = flat_costs.shape[0]
+    running = np.minimum.accumulate(flat_costs)
+    improved = np.empty(n, dtype=bool)
+    improved[0] = True
+    improved[1:] = flat_costs[1:] < running[:-1]
+    best = np.inf
+    winner = -1
+    for idx in np.flatnonzero(improved):
+        cost = flat_costs[idx]
+        if cost < best - _TIE_EPS:
+            best = cost
+            winner = int(idx)
+    return winner
+
+
+def _candidate_costs(
+    times: np.ndarray,
+    energies: np.ndarray,
+    stairs: Sequence[Tuple[np.ndarray, np.ndarray, np.ndarray]],
+    theta: float,
+) -> np.ndarray:
+    """Cost of every (critical thread, configuration) candidate.
+
+    ``costs[i, f]`` reproduces the reference's accumulation order
+    bit-for-bit: start from ``E[i, f]``, add the other threads'
+    minimum feasible energies in ascending thread order, then add
+    ``theta * texec``.  Infeasible candidates (some thread cannot
+    finish within ``texec``) get ``+inf``.
+    """
+    m, n = times.shape
+    costs = np.empty((m, n))
+    for i in range(m):
+        texec = times[i]
+        total = energies[i].copy()
+        feasible = np.ones(n, dtype=bool)
+        for l in range(m):
+            if l == i:
+                continue
+            t_star, e_star, _ = stairs[l]
+            pos = np.searchsorted(t_star, texec, side="right") - 1
+            feasible &= pos >= 0
+            total += e_star[np.maximum(pos, 0)]
+        cost = total + theta * texec
+        cost[~feasible] = np.inf
+        costs[i] = cost
+    return costs
+
+
+def _assemble(
+    problem: SynTSProblem,
+    theta: float,
+    crit: int,
+    flat: int,
+    stairs: Sequence[Tuple[np.ndarray, np.ndarray, np.ndarray]],
+) -> SynTSSolution:
+    """Build the winning assignment exactly as the reference does."""
+    m = problem.n_threads
+    s = problem.config.n_tsr
+    times = problem.time_table.reshape(m, -1)
+    texec = times[crit, flat]
+    flat_assignment = np.full(m, -1, dtype=np.int64)
+    flat_assignment[crit] = flat
+    for l in range(m):
+        if l == crit:
+            continue
+        t_star, _, idx_star = stairs[l]
+        pos = int(np.searchsorted(t_star, texec, side="right")) - 1
+        flat_assignment[l] = idx_star[pos]
+    indices = tuple((int(f) // s, int(f) % s) for f in flat_assignment)
+    evaluation = problem.evaluate_indices(indices)
+    return SynTSSolution(
+        indices=indices,
+        assignment=problem.assignment_from_indices(indices),
+        evaluation=evaluation,
+        cost=float(evaluation.cost(theta)),
+        theta=theta,
+        critical_thread=crit,
+    )
+
+
 def solve_synts_poly(problem: SynTSProblem, theta: float) -> SynTSSolution:
-    """Exactly minimise ``sum en_i + theta * t_exec`` (Algorithm 1)."""
+    """Exactly minimise ``sum en_i + theta * t_exec`` (Algorithm 1).
+
+    Vectorized: dominated configurations are pruned from every
+    thread's minEnergy staircase, all Q*S candidates of each critical
+    thread are costed in one broadcast pass, and the winner is the
+    same candidate the scalar reference fold would accept
+    (bit-identical outputs, tie cases included).
+    """
+    if theta < 0:
+        raise ValueError("theta must be non-negative")
+    m = problem.n_threads
+    times = problem.time_table.reshape(m, -1)
+    energies = problem.energy_table.reshape(m, -1)
+    stairs = prune_dominated_tables(times, energies)
+    costs = _candidate_costs(times, energies, stairs, theta)
+    winner = _fold_winner(costs.ravel())
+    if winner < 0:
+        raise RuntimeError("SynTS-Poly found no feasible candidate (impossible)")
+    n = times.shape[1]
+    return _assemble(problem, theta, winner // n, winner % n, stairs)
+
+
+def stacked_shape_groups(problems: Sequence[SynTSProblem]):
+    """Yield ``(member_indices, times, energies)`` per table shape.
+
+    Same-shape problems (all intervals of one benchmark stage) stack
+    into (B, M, Q*S) tables; mixed shapes come out as separate
+    groups, members in input order.  Shared by every batch solver
+    that broadcasts over stacked interval tables.
+    """
+    groups: dict = {}
+    for b, problem in enumerate(problems):
+        groups.setdefault(problem.time_table.shape, []).append(b)
+    for members in groups.values():
+        m = problems[members[0]].n_threads
+        times = np.stack(
+            [problems[b].time_table.reshape(m, -1) for b in members]
+        )
+        energies = np.stack(
+            [problems[b].energy_table.reshape(m, -1) for b in members]
+        )
+        yield members, times, energies
+
+
+def solve_synts_poly_batch(
+    problems: Sequence[SynTSProblem], thetas: Sequence[float]
+) -> List[SynTSSolution]:
+    """Solve many intervals in one pass.
+
+    ``problems[b]`` is solved at ``thetas[b]``; the returned list is
+    aligned with the inputs and every solution is bit-identical to
+    ``solve_synts_poly(problems[b], thetas[b])``.  Same-shape interval
+    tables (all intervals of one benchmark stage share (M, Q, S)) are
+    stacked and costed through one broadcast kernel; mixed shapes are
+    grouped internally, so heterogeneous batches are legal.
+    """
+    problems = list(problems)
+    thetas = [float(t) for t in thetas]
+    if len(problems) != len(thetas):
+        raise ValueError(
+            f"got {len(problems)} problems but {len(thetas)} thetas"
+        )
+    for theta in thetas:
+        if theta < 0:
+            raise ValueError("theta must be non-negative")
+    out: List[Optional[SynTSSolution]] = [None] * len(problems)
+
+    for members, times, energies in stacked_shape_groups(problems):
+        if len(members) == 1:
+            b = members[0]
+            out[b] = solve_synts_poly(problems[b], thetas[b])
+            continue
+        batch_stairs = [
+            prune_dominated_tables(times[k], energies[k])
+            for k in range(len(members))
+        ]
+        costs = _batched_candidate_costs(
+            times, energies, batch_stairs, np.asarray([thetas[b] for b in members])
+        )
+        for k, b in enumerate(members):
+            winner = _fold_winner(costs[k].ravel())
+            if winner < 0:
+                raise RuntimeError(
+                    "SynTS-Poly found no feasible candidate (impossible)"
+                )
+            n = times.shape[2]
+            out[b] = _assemble(
+                problems[b], thetas[b], winner // n, winner % n, batch_stairs[k]
+            )
+    return out  # type: ignore[return-value]
+
+
+def _batched_candidate_costs(
+    times: np.ndarray,
+    energies: np.ndarray,
+    batch_stairs: Sequence[Sequence[Tuple[np.ndarray, np.ndarray, np.ndarray]]],
+    thetas: np.ndarray,
+) -> np.ndarray:
+    """(B, M, N) candidate costs for a stack of same-shape problems.
+
+    The staircases are padded to a common length with ``+inf`` times
+    (padding can never be counted by the ``<=`` rank) so the position
+    lookup broadcasts over the whole batch; the per-candidate
+    accumulation order matches the scalar reference exactly.
+    """
+    n_batch, m, n = times.shape
+    max_len = max(
+        len(stairs[l][0]) for stairs in batch_stairs for l in range(m)
+    )
+    t_pad = np.full((n_batch, m, max_len), np.inf)
+    e_pad = np.zeros((n_batch, m, max_len))
+    for k, stairs in enumerate(batch_stairs):
+        for l in range(m):
+            t_star, e_star, _ = stairs[l]
+            t_pad[k, l, : len(t_star)] = t_star
+            e_pad[k, l, : len(e_star)] = e_star
+
+    batch_idx = np.arange(n_batch)[:, None]
+    costs = np.empty((n_batch, m, n))
+    for i in range(m):
+        texec = times[:, i, :]  # (B, n)
+        total = energies[:, i, :].copy()
+        feasible = np.ones((n_batch, n), dtype=bool)
+        for l in range(m):
+            if l == i:
+                continue
+            # rank of texec in thread l's staircase: count of entries
+            # <= texec (exactly searchsorted 'right'), minus one
+            pos = (
+                t_pad[:, l, None, :] <= texec[:, :, None]
+            ).sum(axis=2) - 1  # (B, n)
+            feasible &= pos >= 0
+            total += e_pad[batch_idx, l, np.maximum(pos, 0)]
+        cost = total + thetas[:, None] * texec
+        cost[~feasible] = np.inf
+        costs[:, i, :] = cost
+    return costs
+
+
+def solve_synts_poly_reference(
+    problem: SynTSProblem, theta: float
+) -> SynTSSolution:
+    """The original scalar enumeration (Algorithm 1), kept verbatim.
+
+    This is the semantic reference the vectorized solver is
+    property-tested against: same candidate order, same
+    ``< best - 1e-15`` first-wins acceptance, same output structure.
+    """
     if theta < 0:
         raise ValueError("theta must be non-negative")
     cfg = problem.config
@@ -114,7 +424,7 @@ def solve_synts_poly(problem: SynTSProblem, theta: float) -> SynTSSolution:
             if not feasible:
                 continue
             cost = total_e + theta * texec
-            if cost < best_cost - 1e-15:
+            if cost < best_cost - _TIE_EPS:
                 best_cost = cost
                 best = (i, flat, others)
 

@@ -30,11 +30,18 @@ them always).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Dict, Iterator, Tuple
+from functools import cached_property
+from typing import Callable, Dict, Iterator, List, Optional, Sequence, Tuple
 
-from .baselines import solve_no_ts, solve_nominal, solve_per_core_ts
+from .baselines import (
+    solve_no_ts,
+    solve_no_ts_batch,
+    solve_nominal,
+    solve_per_core_ts,
+    solve_per_core_ts_batch,
+)
 from .online import OnlineKnobs, run_online_interval
-from .poly import solve_synts_poly
+from .poly import solve_synts_poly, solve_synts_poly_batch
 
 __all__ = [
     "Scheme",
@@ -82,6 +89,14 @@ class Scheme:
     uses_theta: bool = True
     needs_rng: bool = False
     description: str = ""
+    #: Optional batch evaluator ``(problems, thetas) -> [SynTSSolution]``.
+    #: Must be *result-identical* to mapping ``solver`` over the
+    #: intervals (the same contract executor backends honour against
+    #: the serial reference); the engine's CellBatch dispatch uses it
+    #: to solve a whole (benchmark, stage) run in one pass.  Not part
+    #: of :meth:`digest`: a batch solver may never change results,
+    #: only wall time.
+    batch_solver: Optional[Callable] = None
 
     def digest(self) -> Tuple[str, str, bool, bool]:
         """Plain-data image for cache keys.
@@ -99,6 +114,15 @@ class Scheme:
         )
         return (self.name, solver_id, self.uses_theta, self.needs_rng)
 
+    @cached_property
+    def digest_json(self) -> str:
+        """Canonical JSON of :meth:`digest`, computed once per entry
+        (cell keys mix it in for every spec; entries are frozen and
+        re-registration installs a new object)."""
+        from repro.serialization import canonical_json
+
+        return canonical_json(list(self.digest()))
+
     def evaluate(self, problem, theta: float, spec) -> Tuple[float, float]:
         """Run the scheme on one interval; return (energy, time)."""
         if self.needs_rng:
@@ -114,6 +138,36 @@ class Scheme:
         solution = self.solver(problem, theta)
         evaluation = solution.evaluation
         return float(evaluation.total_energy), float(evaluation.texec)
+
+    @property
+    def supports_batch(self) -> bool:
+        """Whether whole-run batch evaluation is available."""
+        return self.batch_solver is not None and not self.needs_rng
+
+    def evaluate_batch(
+        self,
+        problems: Sequence,
+        thetas: Sequence[float],
+        specs: Sequence,
+    ) -> List[Tuple[float, float]]:
+        """Run the scheme on many intervals; one (energy, time) each.
+
+        Uses ``batch_solver`` when the scheme declares one (offline
+        schemes only -- RNG-driven schemes derive a stream per cell and
+        always evaluate per interval); otherwise falls back to the
+        per-interval path.  Either way the values are identical to
+        calling :meth:`evaluate` per cell.
+        """
+        if self.supports_batch:
+            solutions = self.batch_solver(problems, thetas)
+            return [
+                (float(s.evaluation.total_energy), float(s.evaluation.texec))
+                for s in solutions
+            ]
+        return [
+            self.evaluate(problem, theta, spec)
+            for problem, theta, spec in zip(problems, thetas, specs)
+        ]
 
 
 class SchemeRegistry:
@@ -195,6 +249,7 @@ def register_offline_scheme(
     *,
     uses_theta: bool = True,
     description: str = "",
+    batch_solver: Optional[Callable] = None,
     replace: bool = False,
 ) -> Scheme:
     """Shorthand: register a ``(problem, theta) -> SynTSSolution`` solver."""
@@ -204,6 +259,7 @@ def register_offline_scheme(
             solver=solver,
             uses_theta=uses_theta,
             description=description,
+            batch_solver=batch_solver,
         ),
         replace=replace,
     )
@@ -230,11 +286,13 @@ def scheme_fingerprint() -> Tuple[Tuple[str, str, bool, bool], ...]:
 register_offline_scheme(
     "synts",
     solve_synts_poly,
+    batch_solver=solve_synts_poly_batch,
     description="SynTS-Poly: joint (V, r) optimisation of Eq. 4.4",
 )
 register_offline_scheme(
     "no_ts",
     solve_no_ts,
+    batch_solver=solve_no_ts_batch,
     description="joint DVFS with speculation disabled (r = 1)",
 )
 register_offline_scheme(
@@ -246,6 +304,7 @@ register_offline_scheme(
 register_offline_scheme(
     "per_core_ts",
     solve_per_core_ts,
+    batch_solver=solve_per_core_ts_batch,
     description="each core minimises en_i + theta*t_i in isolation",
 )
 register_scheme(

@@ -39,12 +39,15 @@ from .backends import (
 from .cache import CacheStats, ResultCache
 from .cells import (
     BenchmarkTotals,
+    CellBatch,
     CellResult,
     CellSpec,
     benchmark_specs,
     cached_interval_problems,
     cell_seed,
+    compute_batch,
     compute_cell,
+    group_cells,
     totalize,
 )
 from .events import EngineEvent, EventLog, JsonLinesPrinter, ProgressPrinter
@@ -55,6 +58,7 @@ from .session import engine_session, get_engine, set_engine
 __all__ = [
     "BenchmarkTotals",
     "CacheStats",
+    "CellBatch",
     "CellResult",
     "CellSpec",
     "EngineEvent",
@@ -73,10 +77,12 @@ __all__ = [
     "cached_interval_problems",
     "canonical_json",
     "cell_seed",
+    "compute_batch",
     "compute_cell",
     "content_key",
     "engine_session",
     "get_engine",
+    "group_cells",
     "make_backend",
     "register_backend",
     "sanitize",

@@ -23,13 +23,21 @@ such a backend would distribute).
 
 from __future__ import annotations
 
+import time
 from abc import ABC, abstractmethod
 from typing import TYPE_CHECKING, Any, Callable, List, Optional, Sequence
 
 if TYPE_CHECKING:  # pragma: no cover
-    from repro.engine.cells import CellResult, CellSpec
+    from repro.engine.cells import CellBatch, CellResult, CellSpec
 
-__all__ = ["ExecutorBackend", "EmitFn", "null_emit"]
+__all__ = [
+    "ExecutorBackend",
+    "EmitFn",
+    "null_emit",
+    "emit_batch_cells",
+    "expand_for_pool",
+    "reassemble_units",
+]
 
 #: ``emit(kind, **fields)``: the engine's event channel, handed to
 #: backends for per-cell / per-shard progress.
@@ -38,6 +46,80 @@ EmitFn = Callable[..., None]
 
 def null_emit(kind: str, **fields: Any) -> None:
     """No-op emitter for standalone backend use."""
+
+
+def emit_batch_cells(
+    emit: EmitFn, batch: "CellBatch", seconds: Optional[float] = None
+) -> None:
+    """Per-cell ``cell_computed`` events for one finished batch.
+
+    Wall time, when attributable, is shared equally across the
+    batch's cells (the batch is the unit that was actually timed);
+    pass ``seconds=None`` under shared pool clocks.
+    """
+    from repro.engine.backends.serial import _cell_fields
+
+    share = (
+        round(seconds / len(batch.specs), 6) if seconds is not None else None
+    )
+    for spec in batch.specs:
+        fields = _cell_fields(spec)
+        if share is not None:
+            fields["seconds"] = share
+        emit("cell_computed", **fields)
+
+
+def expand_for_pool(
+    batches: Sequence["CellBatch"], workers: int = 1
+) -> tuple:
+    """Pool dispatch units for a batch list, plus reassembly origins.
+
+    Vectorized batches (scheme solves the whole group in one pass)
+    always ship intact.  Per-interval batches (e.g. RNG schemes,
+    which evaluate cell by cell anyway) are split into singleton
+    units -- but only when the batch count alone cannot keep the pool
+    busy (fewer than two waves of ``workers``): with plenty of
+    batches, splitting buys no parallelism and pays one IPC
+    round-trip per cell.  Returns ``(units, origins)`` where
+    ``origins[u] = (batch_index, cell_index|None)``; feed both to
+    :func:`reassemble_units`.
+    """
+    from repro.engine.cells import batch_is_vectorized, split_batch
+
+    split_for_grain = len(batches) < 2 * max(1, workers)
+    units: List["CellBatch"] = []
+    origins: List[tuple] = []
+    for bi, batch in enumerate(batches):
+        if (
+            split_for_grain
+            and len(batch) > 1
+            and not batch_is_vectorized(batch)
+        ):
+            for ci, unit in enumerate(split_batch(batch)):
+                units.append(unit)
+                origins.append((bi, ci))
+        else:
+            units.append(batch)
+            origins.append((bi, None))
+    return units, origins
+
+
+def reassemble_units(
+    batches: Sequence["CellBatch"],
+    origins: Sequence[tuple],
+    unit_results: Sequence[List["CellResult"]],
+) -> List[List["CellResult"]]:
+    """Invert :func:`expand_for_pool`: unit results back into lists
+    aligned with the original batches."""
+    out: List[List[Optional["CellResult"]]] = [
+        [None] * len(batch) for batch in batches
+    ]
+    for (bi, ci), cells in zip(origins, unit_results):
+        if ci is None:
+            out[bi] = list(cells)
+        else:
+            out[bi][ci] = cells[0]
+    return out  # type: ignore[return-value]
 
 
 class ExecutorBackend(ABC):
@@ -62,6 +144,33 @@ class ExecutorBackend(ABC):
         Implementations must be order-preserving and bit-identical to
         the serial reference.
         """
+
+    def run_batches(
+        self,
+        batches: Sequence["CellBatch"],
+        emit: EmitFn = null_emit,
+    ) -> List[List["CellResult"]]:
+        """Compute cell batches; the outer list aligns with ``batches``.
+
+        A batch (cells sharing benchmark/stage/scheme/overrides) is
+        the engine's dispatch unit: problem construction, theta
+        resolution and any vectorized scheme solve amortise over it,
+        and pool-based backends ship one batch per task.  The default
+        runs batches in order in-process; subclasses override the
+        scheduling only -- results must stay bit-identical to this
+        reference (batches are pure functions of their specs).
+        """
+        from repro.engine.cells import compute_batch
+
+        results: List[List["CellResult"]] = []
+        for batch in batches:
+            start = time.perf_counter()
+            cells = list(compute_batch(batch))
+            emit_batch_cells(
+                emit, batch, seconds=time.perf_counter() - start
+            )
+            results.append(cells)
+        return results
 
     def close(self) -> None:
         """Release worker pools / remote connections (idempotent)."""

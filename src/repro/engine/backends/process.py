@@ -22,12 +22,36 @@ from concurrent.futures import ProcessPoolExecutor
 from concurrent.futures.process import BrokenProcessPool
 from typing import List, Optional, Sequence
 
-from repro.engine.cells import CellResult, CellSpec, compute_cell
+from repro.engine.cells import (
+    CellBatch,
+    CellResult,
+    CellSpec,
+    compute_batch,
+    compute_cell,
+)
 
-from .base import EmitFn, ExecutorBackend, null_emit
+from .base import (
+    EmitFn,
+    ExecutorBackend,
+    emit_batch_cells,
+    expand_for_pool,
+    null_emit,
+    reassemble_units,
+)
 from .serial import SerialBackend, _cell_fields
 
-__all__ = ["ProcessBackend"]
+__all__ = ["ProcessBackend", "pool_chunksize"]
+
+
+def pool_chunksize(n_tasks: int, workers: int) -> int:
+    """Chunk size for ``pool.map`` over ``n_tasks`` submissions.
+
+    ``chunksize=1`` maximises balance but pays one IPC round-trip per
+    task -- for sub-millisecond cells that round-trip *is* the cost.
+    A quarter of an even split (at least 1) keeps every worker busy
+    with four waves while cutting round-trips by the chunk factor.
+    """
+    return max(1, n_tasks // (4 * max(1, workers)))
 
 
 class ProcessBackend(ExecutorBackend):
@@ -58,24 +82,26 @@ class ProcessBackend(ExecutorBackend):
             self._pool.shutdown(wait=True)
             self._pool = None
 
-    def run(
-        self,
-        specs: Sequence[CellSpec],
-        emit: EmitFn = null_emit,
-        keys: Optional[Sequence[str]] = None,
-    ) -> List[CellResult]:
-        if len(specs) <= 1:
-            # a single pending cell is cheaper in-process than a pool
-            # round-trip (and keeps tiny warm reruns pool-free)
-            return SerialBackend().run(specs, emit)
-        results: List[CellResult] = []
+    def _pooled_map(self, items, fn, on_result, serial_rest, emit):
+        """``pool.map(fn, items)`` with the backend's shared failure
+        protocol.
+
+        ``on_result(item, value)`` fires per delivered item (progress
+        events); a worker-side registry ``KeyError`` becomes the
+        actionable RuntimeError; a broken/denied pool degrades loudly
+        to ``serial_rest(remaining_items)`` for whatever the pool had
+        not yet delivered (delivered values are valid and already
+        emitted).
+        """
+        results = []
         try:
             pool = self._ensure_pool()
-            for spec, cell in zip(
-                specs, pool.map(compute_cell, specs, chunksize=1)
+            chunk = pool_chunksize(len(items), self.workers)
+            for item, value in zip(
+                items, pool.map(fn, items, chunksize=chunk)
             ):
-                emit("cell_computed", **_cell_fields(spec))
-                results.append(cell)
+                on_result(item, value)
+                results.append(value)
             return results
         except KeyError as exc:
             # a worker failed a registry lookup the submitting process
@@ -104,8 +130,46 @@ class ProcessBackend(ExecutorBackend):
             self._pool = None
             if broken is not None:
                 broken.shutdown(wait=False, cancel_futures=True)
-            # cells the pool delivered before breaking are valid (and
-            # already emitted); compute only the remainder serially
-            return results + SerialBackend().run(
-                specs[len(results):], emit
-            )
+            return results + serial_rest(items[len(results):])
+
+    def run(
+        self,
+        specs: Sequence[CellSpec],
+        emit: EmitFn = null_emit,
+        keys: Optional[Sequence[str]] = None,
+    ) -> List[CellResult]:
+        if len(specs) <= 1:
+            # a single pending cell is cheaper in-process than a pool
+            # round-trip (and keeps tiny warm reruns pool-free)
+            return SerialBackend().run(specs, emit)
+        return self._pooled_map(
+            list(specs),
+            compute_cell,
+            lambda spec, _: emit("cell_computed", **_cell_fields(spec)),
+            lambda rest: SerialBackend().run(rest, emit),
+            emit,
+        )
+
+    def run_batches(
+        self,
+        batches: Sequence[CellBatch],
+        emit: EmitFn = null_emit,
+    ) -> List[List[CellResult]]:
+        # vectorized batches ship whole; per-interval batches split
+        # (when the pool would otherwise starve) so their cells
+        # spread across workers instead of serialising in one task
+        units, origins = expand_for_pool(batches, self.workers)
+        if len(units) <= 1:
+            # one unit is cheaper in-process than a pool round-trip
+            return super().run_batches(batches, emit)
+        unit_results = self._pooled_map(
+            units,
+            compute_batch,
+            # shared pool clock: completion without a timing claim
+            lambda unit, _: emit_batch_cells(emit, unit, seconds=None),
+            lambda rest: super(ProcessBackend, self).run_batches(rest, emit),
+            emit,
+        )
+        return reassemble_units(
+            batches, origins, [list(cells) for cells in unit_results]
+        )

@@ -23,7 +23,13 @@ def _cell_fields(spec: CellSpec) -> dict:
 
 class SerialBackend(ExecutorBackend):
     """In-process, in-order evaluation -- the reference every other
-    backend must match bit for bit."""
+    backend must match bit for bit.
+
+    Batched dispatch uses the base class's in-order ``run_batches``
+    (the serial reference semantics *are* the default); ``run`` below
+    is the historical per-cell path, kept for single-cell fallbacks
+    and direct use.
+    """
 
     name = "serial"
 

@@ -21,12 +21,12 @@ from __future__ import annotations
 import time
 from typing import List, Optional, Sequence
 
-from repro.engine.cells import CellResult, CellSpec
+from repro.engine.cells import CellBatch, CellResult, CellSpec
 
 from .base import EmitFn, ExecutorBackend, null_emit
 from .serial import SerialBackend
 
-__all__ = ["ShardedBackend", "shard_of"]
+__all__ = ["ShardedBackend", "shard_of", "shard_of_batch"]
 
 
 def shard_of(spec: CellSpec, n_shards: int) -> int:
@@ -34,6 +34,20 @@ def shard_of(spec: CellSpec, n_shards: int) -> int:
     if n_shards < 1:
         raise ValueError(f"n_shards must be positive, got {n_shards}")
     return int(spec.key()[:8], 16) % n_shards
+
+
+def shard_of_batch(batch: CellBatch, n_shards: int) -> int:
+    """Deterministic shard index of a cell batch.
+
+    A batch travels as one unit (splitting it would forfeit the
+    shared problem construction and vectorized solve), so it is
+    keyed by its first cell's content key -- still a pure function of
+    cell content, so every host agrees on the partition.
+    """
+    if n_shards < 1:
+        raise ValueError(f"n_shards must be positive, got {n_shards}")
+    key = batch.keys[0] if batch.keys is not None else batch.specs[0].key()
+    return int(key[:8], 16) % n_shards
 
 
 class ShardedBackend(ExecutorBackend):
@@ -102,4 +116,40 @@ class ShardedBackend(ExecutorBackend):
             )
             for index, cell in zip(where, results):
                 out[index] = cell
+        return out  # type: ignore[return-value]
+
+    def run_batches(
+        self,
+        batches: Sequence[CellBatch],
+        emit: EmitFn = null_emit,
+    ) -> List[List[CellResult]]:
+        buckets: List[List[CellBatch]] = [[] for _ in range(self.n_shards)]
+        positions: List[List[int]] = [[] for _ in range(self.n_shards)]
+        for i, batch in enumerate(batches):
+            shard = shard_of_batch(batch, self.n_shards)
+            buckets[shard].append(batch)
+            positions[shard].append(i)
+
+        out: List[Optional[List[CellResult]]] = [None] * len(batches)
+        for shard, (bucket, where) in enumerate(zip(buckets, positions)):
+            if not bucket:
+                continue
+            n_cells = sum(len(batch) for batch in bucket)
+            emit(
+                "shard_started",
+                shard=shard,
+                n_shards=self.n_shards,
+                n_cells=n_cells,
+            )
+            start = time.perf_counter()
+            results = self.inner.run_batches(bucket, emit)
+            emit(
+                "shard_finished",
+                shard=shard,
+                n_shards=self.n_shards,
+                n_cells=n_cells,
+                seconds=round(time.perf_counter() - start, 6),
+            )
+            for index, cells in zip(where, results):
+                out[index] = cells
         return out  # type: ignore[return-value]

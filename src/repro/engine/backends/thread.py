@@ -12,9 +12,22 @@ from __future__ import annotations
 from concurrent.futures import ThreadPoolExecutor
 from typing import List, Optional, Sequence
 
-from repro.engine.cells import CellResult, CellSpec, compute_cell
+from repro.engine.cells import (
+    CellBatch,
+    CellResult,
+    CellSpec,
+    compute_batch,
+    compute_cell,
+)
 
-from .base import EmitFn, ExecutorBackend, null_emit
+from .base import (
+    EmitFn,
+    ExecutorBackend,
+    emit_batch_cells,
+    expand_for_pool,
+    null_emit,
+    reassemble_units,
+)
 from .serial import SerialBackend, _cell_fields
 
 __all__ = ["ThreadBackend"]
@@ -75,3 +88,25 @@ class ThreadBackend(ExecutorBackend):
             emit("cell_computed", **_cell_fields(spec))
             results.append(cell)
         return results
+
+    def run_batches(
+        self,
+        batches: Sequence[CellBatch],
+        emit: EmitFn = null_emit,
+    ) -> List[List[CellResult]]:
+        # vectorized batches ship whole; per-interval batches split
+        # (when the pool would otherwise starve) so their cells
+        # spread across workers instead of serialising in one task
+        units, origins = expand_for_pool(batches, self.workers)
+        if len(units) <= 1:
+            # no pool spin-up for trivial dispatches
+            return super().run_batches(batches, emit)
+        pool = self._ensure_pool()
+        futures = [pool.submit(compute_batch, unit) for unit in units]
+        unit_results: List[List[CellResult]] = []
+        for unit, future in zip(units, futures):
+            cells = list(future.result())
+            # shared pool clock: completion without a timing claim
+            emit_batch_cells(emit, unit, seconds=None)
+            unit_results.append(cells)
+        return reassemble_units(batches, origins, unit_results)

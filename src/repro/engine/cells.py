@@ -23,7 +23,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 from functools import lru_cache
-from typing import Dict, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.core.problem import SynTSProblem
 from repro.core.schemes import SCHEME_REGISTRY
@@ -34,11 +34,14 @@ from .serialize import content_key
 __all__ = [
     "CellSpec",
     "CellResult",
+    "CellBatch",
     "BenchmarkTotals",
     "benchmark_specs",
     "cached_interval_problems",
     "cell_seed",
     "compute_cell",
+    "compute_batch",
+    "group_cells",
     "totalize",
 ]
 
@@ -115,13 +118,16 @@ class CellSpec:
         identity), not just their names: re-registering a name with
         different parameters yields different keys, so stale cached
         results are structurally unreachable -- within a session and
-        across a shared ``--cache-dir``.
+        across a shared ``--cache-dir``.  The registry digests enter
+        as their memoised canonical-JSON strings (recomputed only when
+        an entry is re-registered), so keying a cell costs one small
+        payload walk, not a recursive profile serialisation.
         """
         return content_key(
             "cell",
             self.to_payload(),
-            WORKLOAD_REGISTRY.get(self.benchmark).digest(),
-            list(SCHEME_REGISTRY.get(self.scheme).digest()),
+            WORKLOAD_REGISTRY.get(self.benchmark).digest_json,
+            SCHEME_REGISTRY.get(self.scheme).digest_json,
         )
 
 
@@ -302,6 +308,146 @@ def compute_cell(spec: CellSpec) -> CellResult:
     scheme = SCHEME_REGISTRY.get(spec.scheme)
     energy, time = scheme.evaluate(problem, theta, spec)
     return CellResult(spec=spec, theta=theta, energy=energy, time=time)
+
+
+# ----------------------------------------------------------------------
+# batched evaluation: the engine's dispatch unit
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class CellBatch:
+    """Cells sharing (benchmark, stage, scheme, platform overrides).
+
+    The batch is the engine's dispatch unit: problem construction and
+    theta resolution happen once for the whole group, the scheme's
+    batch evaluator (when declared) solves every interval in one
+    vectorized pass, and a process pool ships one batch per task
+    instead of one cell.  ``specs`` keeps the cells' original relative
+    order; ``keys``, when present, carries their content-hash cache
+    keys (aligned with ``specs``) so key-consuming backends need not
+    rehash.
+    """
+
+    specs: Tuple[CellSpec, ...]
+    keys: Optional[Tuple[str, ...]] = None
+
+    def __post_init__(self):
+        if not self.specs:
+            raise ValueError("a CellBatch needs at least one cell")
+        head = self.group_key
+        for spec in self.specs:
+            if _group_key(spec) != head:
+                raise ValueError(
+                    "all cells of a batch must share "
+                    "(benchmark, stage, scheme, overrides); got "
+                    f"{_group_key(spec)} vs {head}"
+                )
+        if self.keys is not None and len(self.keys) != len(self.specs):
+            raise ValueError("keys must align with specs")
+
+    @property
+    def group_key(self) -> Tuple:
+        return _group_key(self.specs[0])
+
+    def __len__(self) -> int:
+        return len(self.specs)
+
+
+def _group_key(spec: CellSpec) -> Tuple:
+    """The coordinates a batch shares: problem construction inputs
+    plus the scheme evaluating them."""
+    return (
+        spec.benchmark,
+        spec.stage,
+        spec.scheme,
+        spec.c_penalty,
+        spec.leakage,
+        spec.n_voltages,
+    )
+
+
+def group_cells(
+    specs: Sequence[CellSpec], keys: Optional[Sequence[str]] = None
+) -> List[CellBatch]:
+    """Partition cells into batches of shared (benchmark, stage,
+    scheme, overrides), preserving first-appearance group order and
+    the cells' relative order within each group."""
+    if keys is not None and len(keys) != len(specs):
+        raise ValueError("keys must align with specs")
+    grouped: Dict[Tuple, List[int]] = {}
+    for i, spec in enumerate(specs):
+        grouped.setdefault(_group_key(spec), []).append(i)
+    batches = []
+    for members in grouped.values():
+        batches.append(
+            CellBatch(
+                specs=tuple(specs[i] for i in members),
+                keys=(
+                    tuple(keys[i] for i in members)
+                    if keys is not None
+                    else None
+                ),
+            )
+        )
+    return batches
+
+
+def batch_is_vectorized(batch: CellBatch) -> bool:
+    """Whether the batch's scheme solves all its intervals in one
+    vectorized pass (offline schemes with a ``batch_solver``).
+
+    Pool backends use this to pick the dispatch grain: a vectorized
+    batch ships whole (splitting it would forfeit the one-pass
+    solve), while a per-interval batch (e.g. ``online``: one RNG
+    stream per cell) is split so its cells spread across workers.
+    """
+    return SCHEME_REGISTRY.get(batch.specs[0].scheme).supports_batch
+
+
+def split_batch(batch: CellBatch) -> List[CellBatch]:
+    """One singleton batch per cell (pool-dispatch grain for schemes
+    that evaluate per interval anyway)."""
+    if batch.keys is not None:
+        return [
+            CellBatch(specs=(spec,), keys=(key,))
+            for spec, key in zip(batch.specs, batch.keys)
+        ]
+    return [CellBatch(specs=(spec,)) for spec in batch.specs]
+
+
+def compute_batch(batch: CellBatch) -> Tuple[CellResult, ...]:
+    """Evaluate a batch (pure function of the batch, like
+    :func:`compute_cell` is of one spec).
+
+    Problem construction and equal-weight theta resolution are shared
+    across the batch; schemes declaring a ``batch_solver`` evaluate
+    all intervals in one vectorized pass.  Results are bit-identical
+    to ``tuple(compute_cell(s) for s in batch.specs)`` -- the batch
+    seam may change wall time, never values.
+    """
+    head = batch.specs[0]
+    problems = _interval_problems(
+        head.benchmark,
+        head.stage,
+        head.c_penalty,
+        head.leakage,
+        head.n_voltages,
+    )
+    cell_problems = []
+    thetas = []
+    for spec in batch.specs:
+        if spec.interval >= len(problems):
+            raise IndexError(
+                f"{spec.benchmark} has {len(problems)} intervals, "
+                f"cell asks for {spec.interval}"
+            )
+        cell_problems.append(problems[spec.interval])
+        thetas.append(_resolve_theta(spec, problems))
+    scheme = SCHEME_REGISTRY.get(head.scheme)
+    outcomes = scheme.evaluate_batch(cell_problems, thetas, batch.specs)
+    return tuple(
+        CellResult(spec=spec, theta=theta, energy=energy, time=time)
+        for spec, theta, (energy, time) in zip(batch.specs, thetas, outcomes)
+    )
 
 
 def totalize(cells: Sequence[CellResult]) -> BenchmarkTotals:

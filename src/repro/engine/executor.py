@@ -32,7 +32,7 @@ from typing import Any, Callable, Dict, List, Optional, Sequence, Union
 
 from .backends import ExecutorBackend, make_backend
 from .cache import CacheStats, ResultCache
-from .cells import CellResult, CellSpec
+from .cells import CellResult, CellSpec, group_cells
 from .events import EngineEvent, EventCallback
 from .serialize import content_key
 
@@ -232,16 +232,25 @@ class ExperimentEngine:
 
         if pending:
             start = time.perf_counter()
-            computed = self.backend.run(
-                pending, self._emit, keys=pending_keys
-            )
-            self.cells_computed += len(computed)
-            for key, cell in zip(pending_keys, computed):
-                self.cache.put(key, cell.to_payload())
-                results[key] = cell
+            # dispatch in (benchmark, stage, scheme, overrides) batches:
+            # problem construction, theta resolution and any vectorized
+            # scheme solve amortise over each batch, and pool backends
+            # ship one batch per task instead of one cell.  Per-cell
+            # cache keys and result alignment are untouched -- batches
+            # are reassembled through the same key-indexed mapping.
+            batches = group_cells(pending, keys=pending_keys)
+            n_computed = 0
+            for batch, cells in zip(
+                batches, self.backend.run_batches(batches, self._emit)
+            ):
+                for key, cell in zip(batch.keys, cells):
+                    self.cache.put(key, cell.to_payload())
+                    results[key] = cell
+                    n_computed += 1
+            self.cells_computed += n_computed
             self._emit(
                 "batch_finished",
-                n_computed=len(computed),
+                n_computed=n_computed,
                 seconds=round(time.perf_counter() - start, 6),
             )
 

@@ -1,83 +1,14 @@
-"""Canonical JSON serialisation and content-hash keys.
-
-Every cache entry -- experiment cells and whole ``ExperimentResult``
-payloads -- is addressed by the SHA-256 of its *canonical JSON* spec:
-sorted keys, no whitespace variance, numpy scalars coerced to plain
-Python numbers.  Two sessions (or two worker processes) that describe
-the same computation therefore derive the same key, which is what
-makes the on-disk cache shareable across figures and runs.
+"""Back-compat shim: canonical serialisation moved to
+:mod:`repro.serialization` so layers below the engine (core schemes,
+workload registry) can memoise digest JSON without importing engine
+internals.  Existing ``repro.engine.serialize`` imports keep working.
 """
 
-from __future__ import annotations
-
-import hashlib
-import json
-from typing import Any
-
-import numpy as np
+from repro.serialization import (  # noqa: F401
+    SCHEMA_VERSION,
+    canonical_json,
+    content_key,
+    sanitize,
+)
 
 __all__ = ["sanitize", "canonical_json", "content_key", "SCHEMA_VERSION"]
-
-#: Bump when cached payload layouts change incompatibly; the version
-#: participates in every key, so stale entries are simply never hit.
-SCHEMA_VERSION = 1
-
-
-def _code_version() -> str:
-    """Package version, mixed into every key.
-
-    Invalidates persistent caches across *released* versions.  It is
-    not a per-commit hash: uncommitted source edits between version
-    bumps can still hit old ``--cache-dir`` entries, so clear the
-    cache dir (or bump the version) after changing solver/model code.
-    """
-    from repro import __version__
-
-    return __version__
-
-
-def sanitize(obj: Any) -> Any:
-    """Recursively coerce a payload to plain JSON-serialisable types.
-
-    Tuples become lists, numpy scalars/arrays become Python numbers
-    and lists, dict keys become strings.  Raises ``TypeError`` for
-    anything that has no faithful JSON image (rich objects must be
-    converted by their owners before caching).
-    """
-    if obj is None or isinstance(obj, (bool, str)):
-        return obj
-    if isinstance(obj, np.bool_):
-        return bool(obj)
-    # note: np.float64 subclasses float and np.int_ may subclass int,
-    # so coerce through the builtin constructors unconditionally
-    if isinstance(obj, (int, np.integer)):
-        return int(obj)
-    if isinstance(obj, (float, np.floating)):
-        return float(obj)
-    if isinstance(obj, np.ndarray):
-        return [sanitize(v) for v in obj.tolist()]
-    if isinstance(obj, (list, tuple)):
-        return [sanitize(v) for v in obj]
-    if isinstance(obj, dict):
-        return {str(k): sanitize(v) for k, v in obj.items()}
-    raise TypeError(
-        f"cannot sanitise {type(obj).__name__!r} for the result cache"
-    )
-
-
-def canonical_json(obj: Any) -> str:
-    """Deterministic JSON text of a sanitised payload."""
-    return json.dumps(
-        sanitize(obj), sort_keys=True, separators=(",", ":"), allow_nan=True
-    )
-
-
-def content_key(*parts: Any) -> str:
-    """SHA-256 content hash of the canonical JSON of ``parts``.
-
-    Keys are salted with the cache schema version and the package
-    version, so incompatible payload layouts and results from older
-    code never collide with current ones.
-    """
-    text = canonical_json([SCHEMA_VERSION, _code_version(), *parts])
-    return hashlib.sha256(text.encode("utf-8")).hexdigest()

@@ -34,6 +34,7 @@ class _Node:
 
 
 def _solve_relaxation(
+    linprog,
     c: np.ndarray,
     a_ub,
     b_ub,
@@ -45,8 +46,6 @@ def _solve_relaxation(
     bounds = list(base_bounds)
     for idx, (lb, ub) in extra.items():
         bounds[idx] = (lb, ub)
-    from scipy.optimize import linprog
-
     res = linprog(
         c,
         A_ub=a_ub,
@@ -63,24 +62,61 @@ def solve_milp(
     milp: MILP,
     tol: float = 1e-6,
     max_nodes: int = 200_000,
+    incumbent: Optional[np.ndarray] = None,
 ) -> MILPResult:
     """Solve a minimisation MILP exactly (within ``tol``).
+
+    ``incumbent``, when given, must be an *integer-feasible* point of
+    the model; its objective value seeds the best-first search so
+    provably-dominated nodes are pruned from node 0 (the LP bound
+    still has to close the gap before the incumbent is declared
+    optimal, so a seeded solve remains a proof of optimality within
+    ``tol``, not a shortcut around it).
 
     Returns :class:`MILPResult`; ``status`` is ``INFEASIBLE`` when no
     integer-feasible point exists and ``NODE_LIMIT`` if the node budget
     is exhausted before the gap closes (the incumbent, if any, is
     returned in that case).
     """
+    # hoisted once per solve: resolving the import inside the node
+    # loop costs a sys.modules round-trip per LP relaxation
+    from scipy.optimize import linprog
+
     c, a_ub, b_ub, a_eq, b_eq = milp.to_arrays()
     base_bounds = milp.bounds()
     int_idx = list(milp.integer_indices)
 
     best_x: Optional[np.ndarray] = None
     best_obj = math.inf
+    if incumbent is not None:
+        best_x = np.asarray(incumbent, dtype=float).copy()
+        if best_x.shape != c.shape:
+            raise ValueError(
+                f"incumbent has {best_x.shape[0]} variables, "
+                f"model has {c.shape[0]}"
+            )
+        for i in int_idx:
+            best_x[i] = round(best_x[i])
+        # an infeasible seed would prune the true optimum and come
+        # back labelled OPTIMAL -- reject the misuse at the seam
+        if a_ub is not None and len(a_ub) and np.any(
+            a_ub @ best_x > np.asarray(b_ub) + tol
+        ):
+            raise ValueError("incumbent violates an inequality constraint")
+        if a_eq is not None and len(a_eq) and np.any(
+            np.abs(a_eq @ best_x - np.asarray(b_eq)) > tol
+        ):
+            raise ValueError("incumbent violates an equality constraint")
+        for i, (lb, ub) in enumerate(base_bounds):
+            if best_x[i] < lb - tol or (ub is not None and best_x[i] > ub + tol):
+                raise ValueError("incumbent violates a variable bound")
+        best_obj = float(c @ best_x)
     seq = itertools.count()
     n_nodes = 0
 
-    root = _solve_relaxation(c, a_ub, b_ub, a_eq, b_eq, base_bounds, {})
+    root = _solve_relaxation(
+        linprog, c, a_ub, b_ub, a_eq, b_eq, base_bounds, {}
+    )
     if root.status == 2:  # infeasible
         return MILPResult(MILPStatus.INFEASIBLE, math.inf, np.array([]), 1)
     if root.status != 0:
@@ -93,7 +129,7 @@ def solve_milp(
         if node.bound >= best_obj - tol:
             continue  # pruned: cannot beat incumbent
         res = _solve_relaxation(
-            c, a_ub, b_ub, a_eq, b_eq, base_bounds, node.extra_bounds
+            linprog, c, a_ub, b_ub, a_eq, b_eq, base_bounds, node.extra_bounds
         )
         n_nodes += 1
         if res.status == 2:

@@ -32,6 +32,7 @@ from __future__ import annotations
 import math
 import sys
 from dataclasses import asdict, dataclass
+from functools import cached_property
 from typing import Any, Dict, Iterator, Mapping, Optional, Sequence, Tuple
 
 from .model import BarrierInterval, Benchmark, ThreadWorkload
@@ -109,6 +110,19 @@ class WorkloadEntry:
                 else {k: asdict(v) for k, v in self.stage_shapes.items()}
             ),
         }
+
+    @cached_property
+    def digest_json(self) -> str:
+        """Canonical JSON of :meth:`digest`, computed once per entry.
+
+        Cell cache keys mix this in for every spec; the recursive
+        ``asdict`` walk over the profile is too expensive to redo per
+        cell.  Safe to memoise on the instance: entries are frozen,
+        and re-registering a name installs a *new* entry object.
+        """
+        from repro.serialization import canonical_json
+
+        return canonical_json(self.digest())
 
 
 def _invalidate_problem_memo() -> None:

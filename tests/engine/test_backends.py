@@ -230,22 +230,48 @@ class TestProcessBackendRegistryVisibility:
         """A workload registered after the worker pool exists is
         invisible to the workers (always under spawn; under fork, for
         anything registered post-fork).  That must surface as an
-        actionable RuntimeError, not a raw KeyError traceback."""
+        actionable RuntimeError, not a raw KeyError traceback.  Two
+        cell groups force real pool dispatch (a single batch is
+        evaluated in-process and would mask the worker-side miss)."""
         from repro.workloads import register_synthetic, unregister_workload
 
         eng = ExperimentEngine(jobs=2, backend="process")
-        # spin the workers up on built-in cells first
-        eng.run_cells(list(benchmark_specs("radix", "decode", "nominal")))
+        # spin the workers up on built-in cells first (two groups, so
+        # the batched dispatch really creates the pool)
+        eng.run_cells(
+            list(
+                benchmark_specs("radix", "decode", "nominal")
+                + benchmark_specs("fmm", "decode", "nominal")
+            )
+        )
         register_synthetic("synth_proc_late", heterogeneity=2.0)
         try:
             specs = list(
                 benchmark_specs("synth_proc_late", "decode", "synts")
+                + benchmark_specs("synth_proc_late", "simple_alu", "synts")
             )
             with pytest.raises(RuntimeError, match="thread or serial"):
                 eng.run_cells(specs)
         finally:
             eng.close()
             unregister_workload("synth_proc_late")
+
+    def test_single_batch_runs_in_process(self):
+        """One pending batch skips the pool round-trip entirely -- so
+        even late runtime registrations work for single-group runs."""
+        from repro.workloads import register_synthetic, unregister_workload
+
+        eng = ExperimentEngine(jobs=2, backend="process")
+        eng.run_cells(list(benchmark_specs("radix", "decode", "nominal")))
+        register_synthetic("synth_proc_single", heterogeneity=2.0)
+        try:
+            specs = list(
+                benchmark_specs("synth_proc_single", "decode", "synts")
+            )
+            assert len(eng.run_cells(specs)) == len(specs)
+        finally:
+            eng.close()
+            unregister_workload("synth_proc_single")
 
 
 class TestThreadBackendRegistryVisibility:
