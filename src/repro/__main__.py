@@ -11,20 +11,29 @@ Usage::
     python -m repro headline --jobs 4 --backend sharded --progress
     python -m repro table_5_1 --cache-dir .repro-cache   # warm reruns
     python -m repro ablation heterogeneity
+    python -m repro worker --serve 0.0.0.0:7700          # remote worker
+    python -m repro fig_6_18 --backend remote --workers host1:7700,host2:7700
 
 Every regeneration goes through the experiment engine:
 
 * ``--jobs N`` fans the experiment's cells out over N workers
   (results are bit-identical to the serial run);
-* ``--backend {serial,thread,process,sharded}`` picks the executor
-  backend (default: process pool when ``--jobs > 1``, else serial);
-  ``--shards`` sizes the sharded backend's content-keyed partitions;
+* ``--backend {serial,thread,process,sharded,remote}`` picks the
+  executor backend (default: process pool when ``--jobs > 1``, else
+  serial); ``--shards`` sizes the sharded backend's content-keyed
+  partitions; ``--workers HOST:PORT[,...]`` names the remote
+  backend's worker processes (``python -m repro worker``);
 * ``--cache-dir DIR`` persists every cell and figure to a
   content-addressed on-disk cache, so repeated runs -- and figures
   sharing sub-problems -- skip the recomputation;
 * ``--progress`` streams human-readable engine progress to stderr;
   ``--log-json`` streams one JSON event per line instead;
 * ``--stats`` prints cache hit/miss accounting to stderr.
+
+``REPRO_BOOTSTRAP=module:function`` names registration hooks that the
+CLI, process-pool workers and remote workers all run at start-up, so
+user schemes/workloads resolve identically everywhere (see
+``repro.engine.bootstrap``).
 """
 
 from __future__ import annotations
@@ -69,6 +78,13 @@ def _build_parser(experiments, ablations) -> argparse.ArgumentParser:
         type=int,
         default=argparse.SUPPRESS,
         help="shard count for the sharded backend",
+    )
+    engine_opts.add_argument(
+        "--workers",
+        metavar="HOST:PORT[,HOST:PORT...]",
+        default=argparse.SUPPRESS,
+        help="remote worker addresses for --backend remote "
+        "(each a 'python -m repro worker --serve' process)",
     )
     engine_opts.add_argument(
         "--cache-dir",
@@ -131,11 +147,43 @@ def _build_parser(experiments, ablations) -> argparse.ArgumentParser:
         parents=[engine_opts],
     )
     abl_p.add_argument("name", help="ablation id from 'list', or 'all'")
+    worker_p = sub.add_parser(
+        "worker",
+        help="serve experiment cells to remote-backend clients",
+        description="Run a long-lived worker process: binds HOST:PORT, "
+        "runs the registry bootstrap (REPRO_BOOTSTRAP, --bootstrap, "
+        "'repro.registrations' entry points), prints 'repro worker: "
+        "listening on HOST:PORT' to stdout once ready, then serves "
+        "content-keyed shards from '--backend remote' clients until "
+        "killed. Results are bit-identical to a local serial run.",
+    )
+    worker_p.add_argument(
+        "--serve",
+        required=True,
+        metavar="HOST:PORT",
+        help="address to listen on (port 0 picks a free port)",
+    )
+    worker_p.add_argument(
+        "--bootstrap",
+        action="append",
+        default=[],
+        metavar="MODULE:FUNCTION",
+        help="extra registration hook(s) to run at start-up, in "
+        "addition to REPRO_BOOTSTRAP and installed entry points "
+        "(repeatable; a bare MODULE means importing it registers)",
+    )
     return parser
 
 
 #: Engine flags that consume the next token (``--flag value`` form).
-_VALUE_FLAGS = ("--jobs", "-j", "--cache-dir", "--backend", "--shards")
+_VALUE_FLAGS = (
+    "--jobs",
+    "-j",
+    "--cache-dir",
+    "--backend",
+    "--shards",
+    "--workers",
+)
 
 
 def _normalize_argv(argv, experiments) -> list:
@@ -150,7 +198,7 @@ def _normalize_argv(argv, experiments) -> list:
             # don't mistake a flag's value for the experiment token
             skip_value = token in _VALUE_FLAGS
             continue
-        if token in ("list", "run", "ablation"):
+        if token in ("list", "run", "ablation", "worker"):
             return argv
         if token in experiments or token == "all":
             return argv[:i] + ["run"] + argv[i:]
@@ -209,6 +257,19 @@ def main(argv=None) -> int:
     parser = _build_parser(EXPERIMENTS, ABLATIONS)
     args = parser.parse_args(_normalize_argv(argv, EXPERIMENTS))
 
+    if args.command != "worker":
+        # the client side of the bootstrap hook: listings, cell specs
+        # and validation all see the same registry picture the pool /
+        # remote workers will (the worker path bootstraps itself, with
+        # its --bootstrap extras)
+        from repro.engine.bootstrap import run_bootstrap
+
+        try:
+            run_bootstrap()
+        except RuntimeError as exc:
+            print(f"repro: {exc}", file=sys.stderr)
+            return 2
+
     if args.list or args.list_schemes or args.list_benchmarks:
         if args.command is not None:
             # refusing beats silently skipping the requested run
@@ -228,17 +289,24 @@ def main(argv=None) -> int:
     if args.command == "list":
         _print_registries(EXPERIMENTS, ABLATIONS)
         return 0
+    if args.command == "worker":
+        return _serve_worker(args)
 
     jobs = getattr(args, "jobs", None)
     cache_dir = getattr(args, "cache_dir", None)
     backend = getattr(args, "backend", None)
     shards = getattr(args, "shards", None)
+    workers = getattr(args, "workers", None)
     stats = getattr(args, "stats", False)
     try:
         engine = ExperimentEngine(
-            jobs=jobs, cache_dir=cache_dir, backend=backend, shards=shards
+            jobs=jobs,
+            cache_dir=cache_dir,
+            backend=backend,
+            shards=shards,
+            remote_workers=workers,
         )
-    except (KeyError, ValueError, OSError) as exc:
+    except (KeyError, ValueError, OSError, RuntimeError) as exc:
         print(f"repro: {exc}", file=sys.stderr)
         return 2
     if getattr(args, "progress", False):
@@ -261,6 +329,35 @@ def main(argv=None) -> int:
                 file=sys.stderr,
             )
     return code
+
+
+def _serve_worker(args) -> int:
+    """Run the ``repro worker`` subcommand until shut down."""
+    from repro.engine.worker import serve
+
+    host, _, port_text = args.serve.rpartition(":")
+    try:
+        if not host:
+            raise ValueError
+        port = int(port_text)
+        if not (0 <= port < 65536):
+            raise ValueError
+    except ValueError:
+        print(
+            f"repro: --serve expects HOST:PORT (port 0-65535), "
+            f"got {args.serve!r}",
+            file=sys.stderr,
+        )
+        return 2
+    try:
+        serve(host, port, bootstrap=args.bootstrap)
+    except (RuntimeError, OSError) as exc:
+        # e.g. a failing bootstrap hook, or the port already bound
+        print(f"repro worker: {exc}", file=sys.stderr)
+        return 2
+    except KeyboardInterrupt:
+        pass
+    return 0
 
 
 def _dispatch(args, experiments, ablations) -> int:

@@ -4,8 +4,9 @@ The paper's evaluation regenerates ~14 tables/figures, each sweeping
 (benchmark x stage x scheme x interval) sub-problems.  This package
 decomposes those sweeps into pure, picklable *cells*
 (:mod:`~repro.engine.cells`), executes them on a pluggable executor
-backend -- serial, thread pool, process pool, or content-keyed shards
-over any of them (:mod:`~repro.engine.backends`) -- and memoises every
+backend -- serial, thread pool, process pool, content-keyed shards
+over any of them, or remote workers on other machines
+(:mod:`~repro.engine.backends`) -- and memoises every
 result under content-hash keys (:mod:`~repro.engine.cache`,
 :mod:`~repro.engine.serialize`) -- in memory within a session and
 optionally on disk across sessions (``--cache-dir``).  Progress is
@@ -29,6 +30,7 @@ Guarantees:
 from .backends import (
     ExecutorBackend,
     ProcessBackend,
+    RemoteBackend,
     SerialBackend,
     ShardedBackend,
     ThreadBackend,
@@ -36,6 +38,7 @@ from .backends import (
     make_backend,
     register_backend,
 )
+from .bootstrap import run_bootstrap
 from .cache import CacheStats, ResultCache
 from .cells import (
     BenchmarkTotals,
@@ -68,6 +71,7 @@ __all__ = [
     "JsonLinesPrinter",
     "ProcessBackend",
     "ProgressPrinter",
+    "RemoteBackend",
     "ResultCache",
     "SerialBackend",
     "ShardedBackend",
@@ -85,6 +89,7 @@ __all__ = [
     "group_cells",
     "make_backend",
     "register_backend",
+    "run_bootstrap",
     "sanitize",
     "set_engine",
     "totalize",

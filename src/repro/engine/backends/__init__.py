@@ -1,25 +1,35 @@
 """Pluggable executor backends for the experiment engine.
 
-Four strategies ship in-tree, all bit-identical to the serial
+Five strategies ship in-tree, all bit-identical to the serial
 reference (enforced by the parallel-equivalence property test):
 
 * ``serial``  -- in-order, in-process; the reference path.
 * ``thread``  -- thread pool (numpy kernels release the GIL); sees
   runtime scheme/workload registrations.
 * ``process`` -- process pool; the historical ``--jobs N`` behaviour.
+  Workers run the registry bootstrap hook
+  (:mod:`repro.engine.bootstrap`) at start-up.
 * ``sharded`` -- content-keyed shards dispatched through an inner
-  backend; the seam multi-host distribution plugs into.
+  backend; bounds in-flight work and gives progress a shard grain.
+* ``remote``  -- the multi-host distributor: ships content-keyed
+  shards to ``python -m repro worker`` processes on other machines
+  (``--workers host1:port,host2:port``), with per-shard failover.
 
 :func:`make_backend` builds one by name; :func:`register_backend`
-makes the set open for out-of-tree strategies.
+makes the set open for out-of-tree strategies.  Factories take
+``(workers, shards)``; a factory that needs more (like ``remote``'s
+worker addresses) declares keyword-only parameters and
+:func:`make_backend` forwards matching options.
 """
 
 from __future__ import annotations
 
+import inspect
 from typing import Callable, Dict, Optional, Tuple
 
 from .base import EmitFn, ExecutorBackend, null_emit
 from .process import ProcessBackend
+from .remote import RemoteBackend, parse_worker_addresses
 from .serial import SerialBackend
 from .sharded import ShardedBackend, shard_of
 from .thread import ThreadBackend
@@ -28,18 +38,22 @@ __all__ = [
     "EmitFn",
     "ExecutorBackend",
     "ProcessBackend",
+    "RemoteBackend",
     "SerialBackend",
     "ShardedBackend",
     "ThreadBackend",
     "backend_names",
     "make_backend",
     "null_emit",
+    "parse_worker_addresses",
     "register_backend",
     "shard_of",
 ]
 
-#: Backend factory signature: (workers, shards) -> backend.
-BackendFactory = Callable[[int, Optional[int]], ExecutorBackend]
+#: Backend factory signature: ``(workers, shards) -> backend``, plus
+#: optional keyword-only parameters for named options (see
+#: :func:`make_backend`).
+BackendFactory = Callable[..., ExecutorBackend]
 
 
 def _make_serial(workers: int, shards: Optional[int]) -> ExecutorBackend:
@@ -63,11 +77,27 @@ def _make_sharded(workers: int, shards: Optional[int]) -> ExecutorBackend:
     return ShardedBackend(inner=inner, n_shards=shards or max(2, workers))
 
 
+def _make_remote(
+    workers: int,
+    shards: Optional[int],
+    *,
+    remote_workers=None,
+) -> ExecutorBackend:
+    if not remote_workers:
+        raise ValueError(
+            "the remote backend needs worker addresses: pass --workers "
+            "HOST:PORT[,HOST:PORT...] (start workers with "
+            "'python -m repro worker --serve HOST:PORT')"
+        )
+    return RemoteBackend(remote_workers)
+
+
 _FACTORIES: Dict[str, BackendFactory] = {
     "serial": _make_serial,
     "thread": _make_thread,
     "process": _make_process,
     "sharded": _make_sharded,
+    "remote": _make_remote,
 }
 
 
@@ -88,14 +118,36 @@ def backend_names() -> Tuple[str, ...]:
     return tuple(_FACTORIES)
 
 
+def _factory_option_names(factory: BackendFactory) -> Optional[frozenset]:
+    """Keyword-only option names a factory accepts (``None`` = any)."""
+    try:
+        parameters = inspect.signature(factory).parameters
+    except (TypeError, ValueError):  # builtins, odd callables
+        return frozenset()
+    names = set()
+    for parameter in parameters.values():
+        if parameter.kind is inspect.Parameter.VAR_KEYWORD:
+            return None
+        if parameter.kind is inspect.Parameter.KEYWORD_ONLY:
+            names.add(parameter.name)
+    return frozenset(names)
+
+
 def make_backend(
-    name: str, workers: int = 1, shards: Optional[int] = None
+    name: str,
+    workers: int = 1,
+    shards: Optional[int] = None,
+    **options,
 ) -> ExecutorBackend:
     """Build a backend by registry name.
 
     ``workers`` sizes the pool-based backends (and the sharded
     backend's inner pool); ``shards`` sets the shard count of
-    ``sharded`` (default: ``max(2, workers)``).
+    ``sharded`` (default: ``max(2, workers)``).  Named ``options``
+    (e.g. ``remote_workers`` for the remote backend's addresses) are
+    forwarded to factories that declare a matching keyword-only
+    parameter; passing an option the chosen backend does not accept
+    is an error, not a silent no-op.
     """
     try:
         factory = _FACTORIES[name]
@@ -105,4 +157,19 @@ def make_backend(
             f"{sorted(_FACTORIES)}. Register new backends with "
             "repro.engine.backends.register_backend(...)"
         ) from None
-    return factory(max(1, int(workers)), shards)
+    options = {k: v for k, v in options.items() if v is not None}
+    accepted = _factory_option_names(factory)
+    if accepted is not None:
+        unknown = set(options) - accepted
+        if unknown:
+            raise ValueError(
+                f"backend {name!r} does not accept option(s) "
+                f"{sorted(unknown)}"
+                + (
+                    "; --workers selects remote worker addresses -- "
+                    "use --backend remote"
+                    if "remote_workers" in unknown
+                    else ""
+                )
+            )
+    return factory(max(1, int(workers)), shards, **options)

@@ -36,6 +36,7 @@ __all__ = [
     "null_emit",
     "emit_batch_cells",
     "expand_for_pool",
+    "needed_registry_names",
     "reassemble_units",
 ]
 
@@ -67,6 +68,20 @@ def emit_batch_cells(
         if share is not None:
             fields["seconds"] = share
         emit("cell_computed", **fields)
+
+
+def needed_registry_names(batches: Sequence["CellBatch"]) -> tuple:
+    """(scheme names, benchmark names) the pending batches resolve.
+
+    The up-front registry validation of worker-shipping backends
+    (process pool, remote) checks these against the workers' actual
+    registries before any cell is dispatched.
+    """
+    schemes = {spec.scheme for batch in batches for spec in batch.specs}
+    benchmarks = {
+        spec.benchmark for batch in batches for spec in batch.specs
+    }
+    return schemes, benchmarks
 
 
 def expand_for_pool(
@@ -109,8 +124,11 @@ def reassemble_units(
     origins: Sequence[tuple],
     unit_results: Sequence[List["CellResult"]],
 ) -> List[List["CellResult"]]:
-    """Invert :func:`expand_for_pool`: unit results back into lists
-    aligned with the original batches."""
+    """Invert :func:`expand_for_pool`.
+
+    Folds unit results back into lists aligned with the original
+    batches.
+    """
     out: List[List[Optional["CellResult"]]] = [
         [None] * len(batch) for batch in batches
     ]

@@ -1,13 +1,17 @@
 """Process-pool backend: the engine's historical ``--jobs N`` path.
 
-Whether workers see schemes/workloads registered at *runtime* depends
-on the multiprocessing start method: ``fork`` (Linux default)
-inherits registrations made before the pool spins up, ``spawn``
-(macOS/Windows) re-imports the code and sees none, and registrations
-made after the pool exists are invisible either way.  Portable code
-should register at import time or use the thread/serial backends; a
-worker-side registry miss is converted into an actionable
-``RuntimeError`` saying exactly that.
+Worker processes run the registry bootstrap hook
+(:mod:`repro.engine.bootstrap`) as their pool initialiser, so
+schemes/workloads named by ``REPRO_BOOTSTRAP=module:function`` (or an
+installed ``repro.registrations`` entry point) resolve in every
+worker regardless of the multiprocessing start method.  Registrations
+made at *runtime* without the hook remain start-method dependent:
+``fork`` (Linux default) inherits registrations made before the pool
+spins up, ``spawn`` (macOS/Windows) re-imports the code and sees
+none.  Before shipping a multi-batch dispatch, the backend probes one
+worker's registries and fails with an actionable error naming the
+missing entries -- *before* any cell is computed, instead of as a
+pickled ``KeyError`` traceback from mid-run.
 
 Sandboxed / fork-restricted environments (worker spawn denied, child
 killed) degrade to the serial path -- loudly, via stderr and a
@@ -20,7 +24,7 @@ from __future__ import annotations
 import sys
 from concurrent.futures import ProcessPoolExecutor
 from concurrent.futures.process import BrokenProcessPool
-from typing import List, Optional, Sequence
+from typing import List, Optional, Sequence, Set, Tuple
 
 from repro.engine.cells import (
     CellBatch,
@@ -35,6 +39,7 @@ from .base import (
     ExecutorBackend,
     emit_batch_cells,
     expand_for_pool,
+    needed_registry_names,
     null_emit,
     reassemble_units,
 )
@@ -54,6 +59,37 @@ def pool_chunksize(n_tasks: int, workers: int) -> int:
     return max(1, n_tasks // (4 * max(1, workers)))
 
 
+def _pool_initializer() -> None:
+    """Run the registry bootstrap in a freshly started pool worker."""
+    from repro.engine.bootstrap import run_bootstrap
+
+    run_bootstrap()
+
+
+def _worker_registry_names() -> Tuple[Tuple[str, ...], Tuple[str, ...]]:
+    """A worker's registered (scheme, workload) names (probe task)."""
+    from repro.core.schemes import SCHEME_REGISTRY
+    from repro.workloads.registry import WORKLOAD_REGISTRY
+
+    return SCHEME_REGISTRY.names(), WORKLOAD_REGISTRY.names()
+
+
+def _missing_registry_message(
+    missing_schemes: Set[str], missing_benchmarks: Set[str]
+) -> str:
+    """Actionable error text for a worker-side registry gap."""
+    from repro.engine.bootstrap import BOOTSTRAP_REMEDY
+
+    missing = sorted(missing_schemes | missing_benchmarks)
+    return (
+        f"process-pool workers cannot resolve {missing}: workers "
+        "re-import the code (or forked before the registration) and do "
+        f"not see schemes/workloads registered at runtime. "
+        f"{BOOTSTRAP_REMEDY}; register from a module the workers "
+        "import, or use the thread or serial backend."
+    )
+
+
 class ProcessBackend(ExecutorBackend):
     """``concurrent.futures.ProcessPoolExecutor`` over ``compute_cell``."""
 
@@ -67,24 +103,55 @@ class ProcessBackend(ExecutorBackend):
 
     @property
     def is_parallel(self) -> bool:
+        """Concurrent whenever more than one worker is configured."""
         return self.workers > 1
 
     def describe(self) -> str:
+        """``process[N]`` where N is the worker count."""
         return f"process[{self.workers}]"
 
     def _ensure_pool(self) -> ProcessPoolExecutor:
         if self._pool is None:
-            self._pool = ProcessPoolExecutor(max_workers=self.workers)
+            self._pool = ProcessPoolExecutor(
+                max_workers=self.workers,
+                initializer=_pool_initializer,
+            )
         return self._pool
 
     def close(self) -> None:
+        """Shut the worker pool down (idempotent)."""
         if self._pool is not None:
             self._pool.shutdown(wait=True)
             self._pool = None
 
+    def _validate_registries(self, units: Sequence[CellBatch]) -> None:
+        """Probe one worker's registries before shipping a dispatch.
+
+        Raises the actionable ``RuntimeError`` when a scheme/workload
+        the pending cells need is missing worker-side (the probe
+        reflects bootstrap hooks and fork inheritance, so it is exact
+        for the pool's actual state).  A pool too broken to probe is
+        left for the dispatch path's loud serial fallback.
+        """
+        needed_schemes, needed_benchmarks = needed_registry_names(units)
+        try:
+            pool = self._ensure_pool()
+            schemes, benchmarks = pool.submit(
+                _worker_registry_names
+            ).result()
+        except (OSError, BrokenProcessPool, RuntimeError):
+            return  # unusable pool: the dispatch path degrades loudly
+        missing_schemes = needed_schemes - set(schemes)
+        missing_benchmarks = needed_benchmarks - set(benchmarks)
+        if missing_schemes or missing_benchmarks:
+            raise RuntimeError(
+                _missing_registry_message(
+                    missing_schemes, missing_benchmarks
+                )
+            )
+
     def _pooled_map(self, items, fn, on_result, serial_rest, emit):
-        """``pool.map(fn, items)`` with the backend's shared failure
-        protocol.
+        """Run ``pool.map(fn, items)`` with the shared failure protocol.
 
         ``on_result(item, value)`` fires per delivered item (progress
         events); a worker-side registry ``KeyError`` becomes the
@@ -105,15 +172,15 @@ class ProcessBackend(ExecutorBackend):
             return results
         except KeyError as exc:
             # a worker failed a registry lookup the submitting process
-            # passed: almost always a runtime registration the freshly
-            # imported worker cannot see -- say so, instead of letting
-            # a bare pickled KeyError traceback surface
+            # passed (a race past the up-front probe): say so, instead
+            # of letting a bare pickled KeyError traceback surface
             raise RuntimeError(
                 f"worker process failed a registry lookup: {exc}. "
                 "Process-pool workers re-import the code and do not "
-                "see schemes/workloads registered at runtime; use the "
-                "thread or serial backend, or register from a module "
-                "the workers import."
+                "see schemes/workloads registered at runtime; set "
+                "REPRO_BOOTSTRAP=module:function, use the thread or "
+                "serial backend, or register from a module the workers "
+                "import."
             ) from exc
         except (OSError, BrokenProcessPool) as exc:
             print(
@@ -138,6 +205,7 @@ class ProcessBackend(ExecutorBackend):
         emit: EmitFn = null_emit,
         keys: Optional[Sequence[str]] = None,
     ) -> List[CellResult]:
+        """Map cells over the pool (single cells stay in-process)."""
         if len(specs) <= 1:
             # a single pending cell is cheaper in-process than a pool
             # round-trip (and keeps tiny warm reruns pool-free)
@@ -155,6 +223,7 @@ class ProcessBackend(ExecutorBackend):
         batches: Sequence[CellBatch],
         emit: EmitFn = null_emit,
     ) -> List[List[CellResult]]:
+        """Ship one batch per pool task; registry-validate up front."""
         # vectorized batches ship whole; per-interval batches split
         # (when the pool would otherwise starve) so their cells
         # spread across workers instead of serialising in one task
@@ -162,6 +231,7 @@ class ProcessBackend(ExecutorBackend):
         if len(units) <= 1:
             # one unit is cheaper in-process than a pool round-trip
             return super().run_batches(batches, emit)
+        self._validate_registries(units)
         unit_results = self._pooled_map(
             units,
             compute_batch,

@@ -1,0 +1,609 @@
+"""Remote executor backend: ship content-keyed shards to other hosts.
+
+:class:`RemoteBackend` is the multi-host seam the sharded backend was
+built to feed: it partitions pending cell batches into content-keyed
+shards (the same :func:`~repro.engine.backends.sharded.shard_of_batch`
+partition every host agrees on), ships whole shards to long-lived
+worker processes (``python -m repro worker --serve HOST:PORT``) over a
+length-prefixed canonical-JSON protocol, and merges the results back
+into submission order -- bit-identical to the serial reference,
+because workers evaluate the very same pure ``compute_batch`` path.
+
+Worker-side engine events (per-cell ``cell_computed`` and friends)
+are forwarded into the local event stream tagged with the worker's
+address, so ``--progress`` and ``--log-json`` cover remote work the
+same way they cover local work.  Events for a shard are buffered until
+the shard's result frame arrives: a shard that fails over to another
+worker never double-reports its cells.
+
+Failure semantics: a worker that cannot be reached, or that dies
+mid-shard, is reported with a ``worker_lost`` event and its shards are
+re-dispatched to the surviving workers (results are unaffected --
+cells are pure).  Only when *no* worker remains does the backend raise
+``RuntimeError``.  Registry visibility is validated up front: before
+any shard ships, every live worker is asked for its registered
+scheme/workload names, and a worker missing one that the pending cells
+need fails the run with an actionable error (pointing at
+``REPRO_BOOTSTRAP`` and the worker ``--bootstrap`` flag) *before* any
+compute is wasted.
+
+Wire protocol (version 1): each frame is a 4-byte big-endian length
+followed by that many bytes of UTF-8 canonical JSON
+(:func:`repro.serialization.canonical_json` -- sorted keys, numpy
+scalars coerced).  Requests are ``{"op": ...}`` objects; responses
+carry ``"ok"``; ``run_batches`` responses are preceded by zero or more
+``{"op": "event"}`` frames streamed during evaluation.
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+import struct
+import threading
+import time
+from collections import deque
+from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
+
+from repro.engine.cells import CellBatch, CellResult, CellSpec
+from repro.serialization import SCHEMA_VERSION, canonical_json
+
+from .base import (
+    EmitFn,
+    ExecutorBackend,
+    needed_registry_names,
+    null_emit,
+)
+from .sharded import shard_of_batch
+
+__all__ = [
+    "FrameTooLargeError",
+    "PROTOCOL_VERSION",
+    "RemoteBackend",
+    "RemoteProtocolError",
+    "parse_worker_addresses",
+    "recv_frame",
+    "send_frame",
+]
+
+#: Bump when the frame layout or message vocabulary changes
+#: incompatibly; both ends refuse mismatched peers at handshake.
+PROTOCOL_VERSION = 1
+
+_HEADER = struct.Struct(">I")
+
+#: Refuse frames beyond this size (64 MiB): a corrupted length prefix
+#: must fail fast, not attempt a huge allocation.
+MAX_FRAME_BYTES = 64 * 1024 * 1024
+
+
+class RemoteProtocolError(RuntimeError):
+    """A peer spoke the protocol wrongly (bad frame, bad handshake)."""
+
+
+class FrameTooLargeError(RemoteProtocolError):
+    """A frame exceeded :data:`MAX_FRAME_BYTES`.
+
+    Deterministic for a given payload, so *not* failover material: a
+    shard too large for one worker is too large for every worker.
+    """
+
+
+def send_frame(sock: socket.socket, payload: Dict[str, Any]) -> None:
+    """Send one length-prefixed canonical-JSON frame."""
+    data = canonical_json(payload).encode("utf-8")
+    if len(data) > MAX_FRAME_BYTES:
+        raise FrameTooLargeError(
+            f"frame of {len(data)} bytes exceeds the {MAX_FRAME_BYTES} "
+            "limit; split the dispatch into smaller shards"
+        )
+    sock.sendall(_HEADER.pack(len(data)) + data)
+
+
+def _recv_exact(sock: socket.socket, n: int) -> Optional[bytes]:
+    """Read exactly ``n`` bytes, or ``None`` on a clean EOF at byte 0."""
+    chunks: List[bytes] = []
+    remaining = n
+    while remaining:
+        chunk = sock.recv(remaining)
+        if not chunk:
+            if not chunks:
+                return None
+            raise RemoteProtocolError(
+                f"connection closed mid-frame ({n - remaining}/{n} bytes)"
+            )
+        chunks.append(chunk)
+        remaining -= len(chunk)
+    return b"".join(chunks)
+
+
+def recv_frame(sock: socket.socket) -> Optional[Dict[str, Any]]:
+    """Receive one frame, or ``None`` on a clean peer shutdown."""
+    header = _recv_exact(sock, _HEADER.size)
+    if header is None:
+        return None
+    (length,) = _HEADER.unpack(header)
+    if length > MAX_FRAME_BYTES:
+        raise FrameTooLargeError(
+            f"frame of {length} bytes exceeds the {MAX_FRAME_BYTES} limit "
+            "(corrupted length prefix?)"
+        )
+    body = _recv_exact(sock, length)
+    if body is None:
+        raise RemoteProtocolError("connection closed before frame body")
+    try:
+        payload = json.loads(body.decode("utf-8"))
+    except (UnicodeDecodeError, ValueError) as exc:
+        raise RemoteProtocolError(f"undecodable frame: {exc!r}") from exc
+    if not isinstance(payload, dict):
+        raise RemoteProtocolError(
+            f"expected a JSON object frame, got {type(payload).__name__}"
+        )
+    return payload
+
+
+def parse_worker_addresses(
+    workers: Union[str, Sequence[Union[str, Tuple[str, int]]]],
+) -> Tuple[Tuple[str, int], ...]:
+    """Normalise worker addresses to ``(host, port)`` tuples.
+
+    Accepts the CLI's comma-separated ``host1:port,host2:port`` string
+    or any sequence of ``host:port`` strings / ``(host, port)`` pairs.
+    """
+    if isinstance(workers, str):
+        parts: Sequence = [p for p in workers.split(",") if p.strip()]
+    else:
+        parts = list(workers)
+    addresses: List[Tuple[str, int]] = []
+    for part in parts:
+        if isinstance(part, tuple):
+            host, port = part
+        else:
+            host, _, port_text = str(part).strip().rpartition(":")
+            if not host:
+                raise ValueError(
+                    f"worker address {part!r} is not HOST:PORT"
+                )
+            port = port_text
+        try:
+            port = int(port)
+        except (TypeError, ValueError):
+            raise ValueError(
+                f"worker address {part!r} has a non-integer port"
+            ) from None
+        if not (0 < port < 65536):
+            raise ValueError(f"worker address {part!r}: port out of range")
+        addresses.append((host, port))
+    if not addresses:
+        raise ValueError(
+            "the remote backend needs at least one worker address "
+            "(--workers HOST:PORT[,HOST:PORT...]); start workers with "
+            "'python -m repro worker --serve HOST:PORT'"
+        )
+    return tuple(addresses)
+
+
+def _address_label(address: Tuple[str, int]) -> str:
+    return f"{address[0]}:{address[1]}"
+
+
+def _encode_batch(batch: CellBatch) -> Dict[str, Any]:
+    """Wire image of a :class:`CellBatch` (specs + optional keys)."""
+    return {
+        "specs": [spec.to_payload() for spec in batch.specs],
+        "keys": list(batch.keys) if batch.keys is not None else None,
+    }
+
+
+def _decode_batch(payload: Dict[str, Any]) -> CellBatch:
+    """Rebuild a :class:`CellBatch` from its wire image.
+
+    Raises ``ValueError`` when a spec names a scheme this process has
+    not registered (``CellSpec`` validates on construction) -- the
+    worker converts that into a ``registry`` error frame.
+    """
+    return CellBatch(
+        specs=tuple(CellSpec.from_payload(p) for p in payload["specs"]),
+        keys=tuple(payload["keys"]) if payload.get("keys") else None,
+    )
+
+
+class _WorkerLink:
+    """One client connection to one remote worker."""
+
+    def __init__(
+        self, address: Tuple[str, int], connect_timeout: float
+    ) -> None:
+        self.address = address
+        self.label = _address_label(address)
+        self.connect_timeout = connect_timeout
+        self._sock: Optional[socket.socket] = None
+        self.hello: Dict[str, Any] = {}
+
+    @property
+    def connected(self) -> bool:
+        """Whether this link currently holds an open socket."""
+        return self._sock is not None
+
+    def connect(self) -> None:
+        """Dial the worker and run the version/schema handshake."""
+        sock = socket.create_connection(
+            self.address, timeout=self.connect_timeout
+        )
+        # computes can be long: no read timeout once connected
+        sock.settimeout(None)
+        try:
+            from repro import __version__
+
+            send_frame(
+                sock,
+                {
+                    "op": "hello",
+                    "protocol": PROTOCOL_VERSION,
+                    "schema": SCHEMA_VERSION,
+                    "version": __version__,
+                },
+            )
+            reply = recv_frame(sock)
+            if reply is None or not reply.get("ok"):
+                raise RemoteProtocolError(
+                    f"worker {self.label} rejected the handshake: "
+                    f"{(reply or {}).get('error', 'connection closed')}"
+                )
+            for field, ours in (
+                ("protocol", PROTOCOL_VERSION),
+                ("schema", SCHEMA_VERSION),
+            ):
+                theirs = reply.get(field)
+                if theirs != ours:
+                    raise RemoteProtocolError(
+                        f"worker {self.label} speaks {field} {theirs}, "
+                        f"this client speaks {ours}; upgrade the older "
+                        "side"
+                    )
+            if reply.get("version") != __version__:
+                raise RemoteProtocolError(
+                    f"worker {self.label} runs repro "
+                    f"{reply.get('version')}, this client runs "
+                    f"{__version__}; results would not share cache keys "
+                    "-- align the versions"
+                )
+            self.hello = reply
+        except BaseException:
+            sock.close()
+            raise
+        self._sock = sock
+
+    def close(self) -> None:
+        """Drop the connection (idempotent)."""
+        if self._sock is not None:
+            try:
+                self._sock.close()
+            except OSError:
+                pass
+            self._sock = None
+
+    def request(
+        self, payload: Dict[str, Any]
+    ) -> Tuple[Dict[str, Any], List[Dict[str, Any]]]:
+        """One request/response round trip.
+
+        Returns ``(response, events)`` where ``events`` are the
+        ``op: event`` frames streamed before the response.  Socket
+        trouble raises ``OSError``/``RemoteProtocolError`` -- the
+        caller decides whether that is a lost worker.
+        """
+        if self._sock is None:
+            raise RemoteProtocolError(f"worker {self.label} not connected")
+        send_frame(self._sock, payload)
+        events: List[Dict[str, Any]] = []
+        while True:
+            frame = recv_frame(self._sock)
+            if frame is None:
+                raise RemoteProtocolError(
+                    f"worker {self.label} closed the connection "
+                    f"mid-request ({payload.get('op')})"
+                )
+            if frame.get("op") == "event":
+                events.append(frame)
+                continue
+            return frame, events
+
+
+class RemoteBackend(ExecutorBackend):
+    """Dispatch content-keyed shards of cell batches to remote workers.
+
+    Parameters
+    ----------
+    workers:
+        Worker addresses -- the CLI's ``host1:port,host2:port`` string
+        or a sequence of ``host:port`` strings / ``(host, port)``
+        pairs.  The *configured* address count fixes the shard count,
+        so the partition is stable even while individual workers come
+        and go.
+    connect_timeout:
+        Seconds to wait for a TCP connect + handshake per worker.
+    """
+
+    name = "remote"
+
+    def __init__(
+        self,
+        workers: Union[str, Sequence],
+        connect_timeout: float = 10.0,
+    ) -> None:
+        # dedupe while preserving order: a repeated address would make
+        # two drain threads share one socket and corrupt the framing
+        self.addresses = tuple(
+            dict.fromkeys(parse_worker_addresses(workers))
+        )
+        self.connect_timeout = float(connect_timeout)
+        self._links: Dict[Tuple[str, int], _WorkerLink] = {
+            address: _WorkerLink(address, self.connect_timeout)
+            for address in self.addresses
+        }
+        # one worker_lost per outage, not one per dispatch attempt
+        self._reported_lost: set = set()
+
+    @property
+    def is_parallel(self) -> bool:
+        """Remote dispatch is concurrent whenever >1 worker is configured."""
+        return len(self.addresses) > 1
+
+    def describe(self) -> str:
+        """``remote[N]`` where N is the configured worker count."""
+        return f"remote[{len(self.addresses)}]"
+
+    def close(self) -> None:
+        """Close every worker connection (workers keep serving others)."""
+        for link in self._links.values():
+            link.close()
+
+    # ------------------------------------------------------------------
+    # connection management
+    # ------------------------------------------------------------------
+    def _mark_lost(
+        self,
+        link: _WorkerLink,
+        error: BaseException,
+        emit: EmitFn,
+        **context: Any,
+    ) -> None:
+        """Close a failed link and emit one ``worker_lost`` per outage."""
+        link.close()
+        if link.address not in self._reported_lost:
+            self._reported_lost.add(link.address)
+            emit(
+                "worker_lost",
+                worker=link.label,
+                error=repr(error),
+                **context,
+            )
+
+    def _live_links(self, emit: EmitFn) -> List[_WorkerLink]:
+        """Connect where needed; return the links that are live now."""
+        live: List[_WorkerLink] = []
+        errors: List[str] = []
+        for address in self.addresses:
+            link = self._links[address]
+            if not link.connected:
+                try:
+                    link.connect()
+                    self._reported_lost.discard(address)
+                except (OSError, RemoteProtocolError) as exc:
+                    errors.append(f"{link.label}: {exc}")
+                    self._mark_lost(link, exc, emit, phase="connect")
+                    continue
+            live.append(link)
+        if not live:
+            raise RuntimeError(
+                "no remote workers reachable "
+                f"({'; '.join(errors) or 'all connections lost'}). Start "
+                "workers with 'python -m repro worker --serve HOST:PORT' "
+                "and pass their addresses via --workers."
+            )
+        return live
+
+    # ------------------------------------------------------------------
+    # up-front registry validation
+    # ------------------------------------------------------------------
+    def _validate_registries(
+        self,
+        batches: Sequence[CellBatch],
+        links: List[_WorkerLink],
+        emit: EmitFn,
+    ) -> List[_WorkerLink]:
+        """Fail before dispatch when a worker cannot resolve the cells.
+
+        Asks every live worker for its registered scheme/workload
+        names (which reflect its bootstrap hooks) and raises an
+        actionable ``RuntimeError`` when anything the pending cells
+        need is missing.  A worker that fails the round trip is
+        treated as lost, not as a validation failure.
+        """
+        needed_schemes, needed_benchmarks = needed_registry_names(batches)
+        survivors: List[_WorkerLink] = []
+        problems: List[str] = []
+        for link in links:
+            try:
+                reply, _ = link.request({"op": "registries"})
+            except (OSError, RemoteProtocolError) as exc:
+                self._mark_lost(link, exc, emit, phase="validate")
+                continue
+            if not reply.get("ok"):
+                self._mark_lost(
+                    link,
+                    RemoteProtocolError(str(reply.get("error"))),
+                    emit,
+                    phase="validate",
+                )
+                continue
+            missing_schemes = needed_schemes - set(reply.get("schemes", ()))
+            missing_benchmarks = needed_benchmarks - set(
+                reply.get("benchmarks", ())
+            )
+            if missing_schemes or missing_benchmarks:
+                missing = sorted(missing_schemes | missing_benchmarks)
+                problems.append(f"{link.label} is missing {missing}")
+            survivors.append(link)
+        if problems:
+            from repro.engine.bootstrap import BOOTSTRAP_REMEDY
+
+            raise RuntimeError(
+                "remote workers cannot resolve the pending cells: "
+                f"{'; '.join(problems)}. Remote workers only see "
+                "registrations made at import time or through the "
+                f"bootstrap hook -- {BOOTSTRAP_REMEDY} (workers also "
+                "accept --bootstrap module:function)."
+            )
+        if not survivors:
+            raise RuntimeError(
+                "all remote workers were lost during registry validation; "
+                "restart them with 'python -m repro worker --serve "
+                "HOST:PORT' and retry."
+            )
+        return survivors
+
+    # ------------------------------------------------------------------
+    # dispatch
+    # ------------------------------------------------------------------
+    def run(
+        self,
+        specs: Sequence[CellSpec],
+        emit: EmitFn = null_emit,
+        keys: Optional[Sequence[str]] = None,
+    ) -> List[CellResult]:
+        """Ship cells as singleton batches; flatten aligned results."""
+        if not specs:
+            return []
+        if keys is None:
+            keys = [spec.key() for spec in specs]
+        batches = [
+            CellBatch(specs=(spec,), keys=(key,))
+            for spec, key in zip(specs, keys)
+        ]
+        return [cells[0] for cells in self.run_batches(batches, emit)]
+
+    def run_batches(
+        self,
+        batches: Sequence[CellBatch],
+        emit: EmitFn = null_emit,
+    ) -> List[List[CellResult]]:
+        """Shard batches across workers; merge by original position.
+
+        Shard membership is the content-keyed partition of
+        :func:`~repro.engine.backends.sharded.shard_of_batch` over the
+        *configured* worker count; shard -> worker placement is a
+        work-queue (surviving workers drain shards of lost ones).
+        """
+        if not batches:
+            return []
+        emit_lock = threading.Lock()
+
+        def locked_emit(kind: str, **data: Any) -> None:
+            with emit_lock:
+                emit(kind, **data)
+
+        links = self._live_links(locked_emit)
+        links = self._validate_registries(batches, links, locked_emit)
+
+        n_shards = len(self.addresses)
+        shard_members: Dict[int, List[int]] = {}
+        for i, batch in enumerate(batches):
+            shard = shard_of_batch(batch, n_shards)
+            shard_members.setdefault(shard, []).append(i)
+        work = deque(sorted(shard_members.items()))
+        out: List[Optional[List[CellResult]]] = [None] * len(batches)
+        failures: List[BaseException] = []
+
+        def drain(link: _WorkerLink) -> None:
+            while True:
+                with emit_lock:
+                    if failures or not work:
+                        return
+                    shard, members = work.popleft()
+                n_cells = sum(len(batches[i]) for i in members)
+                locked_emit(
+                    "shard_started",
+                    shard=shard,
+                    n_shards=n_shards,
+                    n_cells=n_cells,
+                    worker=link.label,
+                )
+                request = {
+                    "op": "run_batches",
+                    "shard": shard,
+                    "batches": [
+                        _encode_batch(batches[i]) for i in members
+                    ],
+                }
+                start = time.perf_counter()
+                try:
+                    reply, events = link.request(request)
+                except FrameTooLargeError as exc:
+                    # deterministic for this payload: retrying on
+                    # another worker would fail identically
+                    failures.append(exc)
+                    return
+                except (OSError, RemoteProtocolError) as exc:
+                    with emit_lock:
+                        work.appendleft((shard, members))
+                    self._mark_lost(
+                        link, exc, locked_emit, shard=shard
+                    )
+                    return
+                if not reply.get("ok"):
+                    failures.append(
+                        RuntimeError(
+                            f"worker {link.label} failed shard {shard}: "
+                            f"{reply.get('error')}"
+                        )
+                    )
+                    return
+                cells = [
+                    [CellResult.from_payload(p) for p in group]
+                    for group in reply["batches"]
+                ]
+                with emit_lock:
+                    # forward the worker's buffered events only now --
+                    # a shard that failed over never double-reports
+                    for frame in events:
+                        data = dict(frame.get("data") or {})
+                        data.setdefault("worker", link.label)
+                        emit(frame.get("kind", "worker_event"), **data)
+                    emit(
+                        "shard_finished",
+                        shard=shard,
+                        n_shards=n_shards,
+                        n_cells=n_cells,
+                        worker=link.label,
+                        seconds=round(time.perf_counter() - start, 6),
+                    )
+                    for index, group in zip(members, cells):
+                        out[index] = group
+
+        while True:
+            active = [link for link in links if link.connected]
+            if not active:
+                raise RuntimeError(
+                    "all remote workers were lost with shards still "
+                    "pending; restart workers ('python -m repro worker "
+                    "--serve HOST:PORT') and rerun -- completed cells "
+                    "are already in the result cache."
+                )
+            threads = [
+                threading.Thread(
+                    target=drain, args=(link,), daemon=True
+                )
+                for link in active
+            ]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join()
+            if failures:
+                raise failures[0]
+            if not work:
+                break
+            links = [link for link in links if link.connected]
+        return out  # type: ignore[return-value]

@@ -22,13 +22,13 @@ def _cell_fields(spec: CellSpec) -> dict:
 
 
 class SerialBackend(ExecutorBackend):
-    """In-process, in-order evaluation -- the reference every other
-    backend must match bit for bit.
+    """The in-process, in-order reference backend.
 
-    Batched dispatch uses the base class's in-order ``run_batches``
-    (the serial reference semantics *are* the default); ``run`` below
-    is the historical per-cell path, kept for single-cell fallbacks
-    and direct use.
+    Every other backend must match its output bit for bit.  Batched
+    dispatch uses the base class's in-order ``run_batches`` (the
+    serial reference semantics *are* the default); ``run`` below is
+    the historical per-cell path, kept for single-cell fallbacks and
+    direct use.
     """
 
     name = "serial"
@@ -39,6 +39,7 @@ class SerialBackend(ExecutorBackend):
         emit: EmitFn = null_emit,
         keys: Optional[Sequence[str]] = None,
     ) -> List[CellResult]:
+        """Evaluate cells one by one, in submission order."""
         results: List[CellResult] = []
         for spec in specs:
             start = time.perf_counter()

@@ -51,8 +51,7 @@ def shard_of_batch(batch: CellBatch, n_shards: int) -> int:
 
 
 class ShardedBackend(ExecutorBackend):
-    """Partition batches into content-keyed shards; run each through
-    ``inner``."""
+    """Run content-keyed shards of the workload through ``inner``."""
 
     name = "sharded"
 
@@ -68,12 +67,15 @@ class ShardedBackend(ExecutorBackend):
 
     @property
     def is_parallel(self) -> bool:
+        """Parallel exactly when the inner backend is."""
         return self.inner.is_parallel
 
     def describe(self) -> str:
+        """``sharded[K x inner]`` with the shard count and inner form."""
         return f"sharded[{self.n_shards} x {self.inner.describe()}]"
 
     def close(self) -> None:
+        """Close the inner backend (idempotent)."""
         self.inner.close()
 
     def run(
@@ -82,6 +84,7 @@ class ShardedBackend(ExecutorBackend):
         emit: EmitFn = null_emit,
         keys: Optional[Sequence[str]] = None,
     ) -> List[CellResult]:
+        """Run content-keyed cell shards through the inner backend."""
         # the engine hands down the content keys it already computed;
         # standalone use falls back to hashing here
         if keys is None:
@@ -123,6 +126,7 @@ class ShardedBackend(ExecutorBackend):
         batches: Sequence[CellBatch],
         emit: EmitFn = null_emit,
     ) -> List[List[CellResult]]:
+        """Run content-keyed batch shards through the inner backend."""
         buckets: List[List[CellBatch]] = [[] for _ in range(self.n_shards)]
         positions: List[List[int]] = [[] for _ in range(self.n_shards)]
         for i, batch in enumerate(batches):

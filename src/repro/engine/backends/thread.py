@@ -51,9 +51,11 @@ class ThreadBackend(ExecutorBackend):
 
     @property
     def is_parallel(self) -> bool:
+        """Concurrent whenever more than one worker is configured."""
         return self.workers > 1
 
     def describe(self) -> str:
+        """``thread[N]`` where N is the worker count."""
         return f"thread[{self.workers}]"
 
     def _ensure_pool(self) -> ThreadPoolExecutor:
@@ -65,6 +67,7 @@ class ThreadBackend(ExecutorBackend):
         return self._pool
 
     def close(self) -> None:
+        """Shut the thread pool down (idempotent)."""
         if self._pool is not None:
             self._pool.shutdown(wait=True)
             self._pool = None
@@ -75,6 +78,7 @@ class ThreadBackend(ExecutorBackend):
         emit: EmitFn = null_emit,
         keys: Optional[Sequence[str]] = None,
     ) -> List[CellResult]:
+        """Submit cells to the pool; collect in submission order."""
         if len(specs) <= 1:
             # no pool spin-up for trivial batches
             return SerialBackend().run(specs, emit)
@@ -94,6 +98,7 @@ class ThreadBackend(ExecutorBackend):
         batches: Sequence[CellBatch],
         emit: EmitFn = null_emit,
     ) -> List[List[CellResult]]:
+        """Submit one pool task per dispatch unit; reassemble in order."""
         # vectorized batches ship whole; per-interval batches split
         # (when the pool would otherwise starve) so their cells
         # spread across workers instead of serialising in one task

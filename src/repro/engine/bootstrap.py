@@ -1,0 +1,179 @@
+"""Worker registry bootstrap: import-time registrations, everywhere.
+
+Runtime scheme/workload registrations live in the registering process.
+That is fine for the serial and thread backends, but process-pool
+workers and remote workers re-import the code (or fork before the
+registration happened) and resolve cells against *their own* copy of
+the registries.  The distribution-safe pattern has always been
+"register at import time of a module the workers also import" -- this
+module is the hook that makes that pattern executable:
+
+* ``REPRO_BOOTSTRAP=module:function`` (comma-separated specs allowed;
+  a bare ``module`` means "importing it is the registration") names
+  user code every worker runs before serving cells;
+* the ``repro.registrations`` entry-point group lets installed
+  packages contribute registrations without any environment variable;
+* :func:`run_bootstrap` executes both, exactly once per spec per
+  process, and is called by the process-pool worker initialiser, by
+  ``python -m repro worker`` at start-up, and by the CLI itself (so
+  the submitting side sees the same registry picture its workers do).
+
+Bootstrap functions should register with ``replace=True`` so a hook
+that runs twice (e.g. in the submitting process *and* a forked
+worker that inherited the registration) stays idempotent.
+"""
+
+from __future__ import annotations
+
+import importlib
+import os
+from typing import Callable, List, Optional, Sequence
+
+__all__ = [
+    "BOOTSTRAP_ENV",
+    "BOOTSTRAP_REMEDY",
+    "ENTRY_POINT_GROUP",
+    "bootstrap_specs",
+    "parse_bootstrap",
+    "run_bootstrap",
+]
+
+#: Environment variable naming bootstrap hooks (``module:function``,
+#: comma-separated).  Inherited by forked/spawned pool workers and
+#: read by ``python -m repro worker`` at start-up.
+BOOTSTRAP_ENV = "REPRO_BOOTSTRAP"
+
+#: Entry-point group scanned for installed registration hooks.
+ENTRY_POINT_GROUP = "repro.registrations"
+
+#: The remedy worker-side registry-miss errors point at (shared by
+#: the process and remote backends so the guidance cannot drift).
+BOOTSTRAP_REMEDY = (
+    "set REPRO_BOOTSTRAP=module:function (or install a "
+    "'repro.registrations' entry point) so every worker runs the "
+    "same registrations as the client"
+)
+
+#: Specs already executed in this process (idempotency guard).
+_already_run: set = set()
+
+
+def parse_bootstrap(spec: str) -> Callable[[], object]:
+    """Resolve a ``module:function`` spec to its callable.
+
+    A bare ``module`` (no colon) resolves to a no-op after importing
+    the module -- importing *is* the registration in the import-time
+    pattern.  Dotted attribute paths after the colon are followed
+    (``pkg.mod:ns.register``).  Failures raise ``RuntimeError`` with
+    the spec named, so a worker that cannot bootstrap says why.
+    """
+    module_name, _, attr_path = spec.partition(":")
+    module_name = module_name.strip()
+    attr_path = attr_path.strip()
+    if not module_name:
+        raise RuntimeError(
+            f"invalid bootstrap spec {spec!r}: expected 'module:function' "
+            "or a bare module name"
+        )
+    try:
+        module = importlib.import_module(module_name)
+    except ImportError as exc:
+        raise RuntimeError(
+            f"cannot import bootstrap module {module_name!r} "
+            f"(from spec {spec!r}): {exc}"
+        ) from exc
+    if not attr_path:
+        return lambda: None
+    target: object = module
+    for part in attr_path.split("."):
+        try:
+            target = getattr(target, part)
+        except AttributeError as exc:
+            raise RuntimeError(
+                f"bootstrap spec {spec!r}: module {module_name!r} has "
+                f"no attribute {attr_path!r}"
+            ) from exc
+    if not callable(target):
+        raise RuntimeError(
+            f"bootstrap spec {spec!r} resolves to a non-callable "
+            f"{type(target).__name__}"
+        )
+    return target  # type: ignore[return-value]
+
+
+def bootstrap_specs(extra: Optional[Sequence[str]] = None) -> List[str]:
+    """The bootstrap specs this process would run, in order.
+
+    ``REPRO_BOOTSTRAP`` specs first (environment order), then any
+    ``extra`` specs (e.g. a worker's ``--bootstrap`` flags).  Blank
+    segments are dropped; duplicates keep their first position.
+    """
+    raw: List[str] = []
+    env = os.environ.get(BOOTSTRAP_ENV, "")
+    raw.extend(part.strip() for part in env.split(",") if part.strip())
+    for spec in extra or ():
+        spec = spec.strip()
+        if spec:
+            raw.append(spec)
+    seen = set()
+    ordered = []
+    for spec in raw:
+        if spec not in seen:
+            seen.add(spec)
+            ordered.append(spec)
+    return ordered
+
+
+def _entry_point_hooks() -> List[tuple]:
+    """(name, callable) pairs from the ``repro.registrations`` group."""
+    from importlib import metadata
+
+    hooks = []
+    try:
+        entry_points = metadata.entry_points(group=ENTRY_POINT_GROUP)
+    except TypeError:  # pragma: no cover - pre-3.10 signature
+        entry_points = metadata.entry_points().get(ENTRY_POINT_GROUP, ())
+    for entry in entry_points:
+        hooks.append((f"entry-point:{entry.name}", entry))
+    return hooks
+
+
+def run_bootstrap(extra: Optional[Sequence[str]] = None) -> List[str]:
+    """Run every configured bootstrap hook once per process.
+
+    Executes, in order: ``REPRO_BOOTSTRAP`` specs, ``extra`` specs,
+    then installed ``repro.registrations`` entry points.  Each hook
+    runs at most once per process (a second :func:`run_bootstrap`
+    call, or a fork that already inherited the registrations, is a
+    no-op for it).  Returns the labels of hooks that actually ran.
+    A failing hook raises ``RuntimeError`` naming the spec -- a worker
+    that cannot see the registrations it was promised must not serve
+    cells.
+    """
+    ran: List[str] = []
+    for spec in bootstrap_specs(extra):
+        if spec in _already_run:
+            continue
+        hook = parse_bootstrap(spec)
+        try:
+            hook()
+        except RuntimeError:
+            raise
+        except Exception as exc:
+            raise RuntimeError(
+                f"bootstrap hook {spec!r} failed: {exc!r}"
+            ) from exc
+        _already_run.add(spec)
+        ran.append(spec)
+    for label, entry in _entry_point_hooks():
+        if label in _already_run:
+            continue
+        try:
+            entry.load()()
+        except Exception as exc:
+            raise RuntimeError(
+                f"bootstrap {label} failed: {exc!r}"
+            ) from exc
+        _already_run.add(label)
+        ran.append(label)
+    return ran

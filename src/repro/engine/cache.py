@@ -38,13 +38,16 @@ class CacheStats:
 
     @property
     def lookups(self) -> int:
+        """Total lookups (hits plus misses)."""
         return self.hits + self.misses
 
     @property
     def hit_rate(self) -> float:
+        """Fraction of lookups served from the cache (0.0 when idle)."""
         return self.hits / self.lookups if self.lookups else 0.0
 
     def as_dict(self) -> Dict[str, float]:
+        """Plain-dict image for logs and ``--stats`` output."""
         return {
             "hits": self.hits,
             "misses": self.misses,

@@ -92,6 +92,7 @@ class CellSpec:
             raise ValueError("interval must be non-negative")
 
     def to_payload(self) -> Dict[str, object]:
+        """Plain-dict image of the spec (cache/wire codec)."""
         return {
             "benchmark": self.benchmark,
             "stage": self.stage,
@@ -108,6 +109,7 @@ class CellSpec:
 
     @classmethod
     def from_payload(cls, payload: Dict[str, object]) -> "CellSpec":
+        """Rebuild a spec from :meth:`to_payload` output."""
         return cls(**payload)
 
     def key(self) -> str:
@@ -147,9 +149,11 @@ class CellResult:
 
     @property
     def edp(self) -> float:
+        """Energy-delay product of this interval."""
         return self.energy * self.time
 
     def to_payload(self) -> Dict[str, object]:
+        """Plain-dict image of the result (cache/wire codec)."""
         return {
             "spec": self.spec.to_payload(),
             "theta": self.theta,
@@ -159,6 +163,7 @@ class CellResult:
 
     @classmethod
     def from_payload(cls, payload: Dict[str, object]) -> "CellResult":
+        """Rebuild a result from :meth:`to_payload` output."""
         return cls(
             spec=CellSpec.from_payload(payload["spec"]),
             theta=payload["theta"],
@@ -180,6 +185,7 @@ class BenchmarkTotals:
 
     @property
     def edp(self) -> float:
+        """Energy-delay product computed on the totals."""
         return self.total_energy * self.total_time
 
 
@@ -271,9 +277,11 @@ def _interval_problems(
 def cached_interval_problems(
     benchmark: str, stage: str
 ) -> Tuple[SynTSProblem, ...]:
-    """Default-platform problems for a named benchmark, from the same
-    per-process memo the cells use (drivers needing e.g. a theta grid
-    share construction with their cells instead of rebuilding)."""
+    """Default-platform problems of a benchmark, from the cells' memo.
+
+    Drivers needing e.g. a theta grid share problem construction with
+    their cells instead of rebuilding per driver.
+    """
     return _interval_problems(benchmark, stage, None, None, None)
 
 
@@ -346,6 +354,7 @@ class CellBatch:
 
     @property
     def group_key(self) -> Tuple:
+        """The (benchmark, stage, scheme, overrides) the batch shares."""
         return _group_key(self.specs[0])
 
     def __len__(self) -> int:
@@ -353,8 +362,10 @@ class CellBatch:
 
 
 def _group_key(spec: CellSpec) -> Tuple:
-    """The coordinates a batch shares: problem construction inputs
-    plus the scheme evaluating them."""
+    """Coordinates a batch shares.
+
+    Problem construction inputs plus the scheme evaluating them.
+    """
     return (
         spec.benchmark,
         spec.stage,
@@ -368,9 +379,12 @@ def _group_key(spec: CellSpec) -> Tuple:
 def group_cells(
     specs: Sequence[CellSpec], keys: Optional[Sequence[str]] = None
 ) -> List[CellBatch]:
-    """Partition cells into batches of shared (benchmark, stage,
-    scheme, overrides), preserving first-appearance group order and
-    the cells' relative order within each group."""
+    """Partition cells into batches sharing their group coordinates.
+
+    Batches share (benchmark, stage, scheme, overrides); the
+    partition preserves first-appearance group order and the cells'
+    relative order within each group.
+    """
     if keys is not None and len(keys) != len(specs):
         raise ValueError("keys must align with specs")
     grouped: Dict[Tuple, List[int]] = {}
@@ -392,10 +406,10 @@ def group_cells(
 
 
 def batch_is_vectorized(batch: CellBatch) -> bool:
-    """Whether the batch's scheme solves all its intervals in one
-    vectorized pass (offline schemes with a ``batch_solver``).
+    """Whether the batch's scheme solves all intervals in one pass.
 
-    Pool backends use this to pick the dispatch grain: a vectorized
+    True for offline schemes declaring a ``batch_solver``.  Pool
+    backends use this to pick the dispatch grain: a vectorized
     batch ships whole (splitting it would forfeit the one-pass
     solve), while a per-interval batch (e.g. ``online``: one RNG
     stream per cell) is split so its cells spread across workers.
@@ -404,8 +418,11 @@ def batch_is_vectorized(batch: CellBatch) -> bool:
 
 
 def split_batch(batch: CellBatch) -> List[CellBatch]:
-    """One singleton batch per cell (pool-dispatch grain for schemes
-    that evaluate per interval anyway)."""
+    """Split into one singleton batch per cell.
+
+    The pool-dispatch grain for schemes that evaluate per interval
+    anyway.
+    """
     if batch.keys is not None:
         return [
             CellBatch(specs=(spec,), keys=(key,))
@@ -415,8 +432,7 @@ def split_batch(batch: CellBatch) -> List[CellBatch]:
 
 
 def compute_batch(batch: CellBatch) -> Tuple[CellResult, ...]:
-    """Evaluate a batch (pure function of the batch, like
-    :func:`compute_cell` is of one spec).
+    """Evaluate a batch (a pure function of the batch).
 
     Problem construction and equal-weight theta resolution are shared
     across the batch; schemes declaring a ``batch_solver`` evaluate

@@ -43,15 +43,19 @@ class EngineEvent:
 
     ``kind`` is a stable string (``batch_started``, ``cell_cached``,
     ``cell_computed``, ``shard_started``, ``shard_finished``,
-    ``backend_fallback``, ``cache_corrupt``, ``experiment_cached``,
-    ``experiment_computed``, ``batch_finished``); ``data`` is a flat,
-    JSON-friendly mapping of the observation's facts.
+    ``backend_fallback``, ``worker_lost``, ``cache_corrupt``,
+    ``experiment_cached``, ``experiment_computed``,
+    ``batch_finished``); ``data`` is a flat, JSON-friendly mapping of
+    the observation's facts.  Events produced on a remote worker are
+    forwarded into the client's stream with a ``worker`` field naming
+    the ``host:port`` they came from.
     """
 
     kind: str
     data: Dict[str, Any] = field(default_factory=dict)
 
     def get(self, key: str, default: Any = None) -> Any:
+        """Read one fact from ``data`` (with a default, like ``dict.get``)."""
         return self.data.get(key, default)
 
 
@@ -65,9 +69,11 @@ class EventLog:
         self.events.append(event)
 
     def kinds(self) -> List[str]:
+        """Every recorded event kind, in arrival order."""
         return [e.kind for e in self.events]
 
     def of_kind(self, kind: str) -> List[EngineEvent]:
+        """The recorded events of one kind, in arrival order."""
         return [e for e in self.events if e.kind == kind]
 
 
@@ -109,14 +115,22 @@ class ProgressPrinter:
                 f"{_cell_label(data)}{timing}"
             )
         elif kind == "shard_started":
+            where = (
+                f" -> {data.get('worker')}" if data.get("worker") else ""
+            )
             self._say(
                 f" shard {data.get('shard')}/{data.get('n_shards')}: "
-                f"{data.get('n_cells')} cells"
+                f"{data.get('n_cells')} cells{where}"
             )
         elif kind == "shard_finished":
             self._say(
                 f" shard {data.get('shard')}/{data.get('n_shards')} done "
                 f"({data.get('seconds', 0.0):.2f}s)"
+            )
+        elif kind == "worker_lost":
+            self._say(
+                f"warning: remote worker {data.get('worker')} lost "
+                f"({data.get('error')}); redistributing its shards"
             )
         elif kind == "batch_finished":
             self._say(

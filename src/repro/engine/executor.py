@@ -5,8 +5,8 @@ CLI and the benchmark harness go through:
 
 * ``run_cells(specs)`` -- evaluate experiment cells, deduplicated and
   cache-backed, on a pluggable :class:`ExecutorBackend` (serial,
-  thread pool, process pool, or content-keyed shards over any of
-  them).  Every backend produces bit-identical
+  thread pool, process pool, content-keyed shards over any of them,
+  or remote workers).  Every backend produces bit-identical
   :class:`~repro.engine.cells.CellResult` lists because cells are pure
   functions of their specs.
 * ``experiment(key_parts, thunk)`` -- whole-figure memoisation: the
@@ -85,11 +85,16 @@ class ExperimentEngine:
         Convenience: build the cache with this on-disk directory.
     backend:
         An :class:`ExecutorBackend` instance, or a registered backend
-        name (``serial`` / ``thread`` / ``process`` / ``sharded``).
-        Default: ``process`` when ``jobs > 1``, else ``serial`` --
-        the engine's historical behaviour.
+        name (``serial`` / ``thread`` / ``process`` / ``sharded`` /
+        ``remote``).  Default: ``remote`` when ``remote_workers`` is
+        given, ``process`` when ``jobs > 1``, else ``serial``.
     shards:
         Shard count for the ``sharded`` backend (ignored otherwise).
+    remote_workers:
+        Remote worker addresses for the ``remote`` backend -- the
+        CLI's ``host1:port,host2:port`` string or a sequence of
+        ``host:port`` entries (each a ``python -m repro worker
+        --serve`` process).
     """
 
     def __init__(
@@ -99,6 +104,7 @@ class ExperimentEngine:
         cache_dir: Optional[str] = None,
         backend: Union[ExecutorBackend, str, None] = None,
         shards: Optional[int] = None,
+        remote_workers: Optional[Union[str, Sequence[str]]] = None,
     ):
         if cache is not None and cache_dir is not None:
             raise ValueError("pass either cache or cache_dir, not both")
@@ -108,9 +114,18 @@ class ExperimentEngine:
         if isinstance(backend, ExecutorBackend):
             self.backend = backend
         else:
-            name = backend or ("process" if self.jobs > 1 else "serial")
+            name = backend or (
+                "remote"
+                if remote_workers
+                else "process"
+                if self.jobs > 1
+                else "serial"
+            )
             self.backend = make_backend(
-                name, workers=self.jobs, shards=shards
+                name,
+                workers=self.jobs,
+                shards=shards,
+                remote_workers=remote_workers,
             )
         self.cache = (
             cache
@@ -147,9 +162,11 @@ class ExperimentEngine:
 
     @property
     def stats(self) -> CacheStats:
+        """Hit/miss accounting of this engine's result cache."""
         return self.cache.stats
 
     def close(self) -> None:
+        """Release the backend and detach from the shared cache."""
         self.backend.close()
         # detach from the cache: restore the previous callback when we
         # are still the top of the chain, and in any case stop emitting
@@ -173,6 +190,7 @@ class ExperimentEngine:
         return callback
 
     def unsubscribe(self, callback: EventCallback) -> None:
+        """Remove a previously subscribed event callback."""
         self._subscribers.remove(callback)
 
     def _emit(self, kind: str, **data: Any) -> None:

@@ -1,7 +1,9 @@
-"""Back-compat shim: canonical serialisation moved to
-:mod:`repro.serialization` so layers below the engine (core schemes,
-workload registry) can memoise digest JSON without importing engine
-internals.  Existing ``repro.engine.serialize`` imports keep working.
+"""Back-compat shim over :mod:`repro.serialization`.
+
+Canonical serialisation moved below the engine so core schemes and
+the workload registry can memoise digest JSON without importing
+engine internals.  Existing ``repro.engine.serialize`` imports keep
+working.
 """
 
 from repro.serialization import (  # noqa: F401

@@ -41,17 +41,25 @@ def engine_session(
     engine: Optional[ExperimentEngine] = None,
     backend: Optional[str] = None,
     shards: Optional[int] = None,
+    remote_workers: Optional[str] = None,
 ) -> Iterator[ExperimentEngine]:
     """Scope a configured (or prebuilt) engine as the session default.
 
     The previous engine is restored on exit; the scoped engine's
-    worker pool is shut down.
+    worker pool (or remote connections) is shut down.
     """
     if engine is None:
         engine = ExperimentEngine(
-            jobs=jobs, cache_dir=cache_dir, backend=backend, shards=shards
+            jobs=jobs,
+            cache_dir=cache_dir,
+            backend=backend,
+            shards=shards,
+            remote_workers=remote_workers,
         )
-    elif any(opt is not None for opt in (jobs, cache_dir, backend, shards)):
+    elif any(
+        opt is not None
+        for opt in (jobs, cache_dir, backend, shards, remote_workers)
+    ):
         raise ValueError("pass either a prebuilt engine or its options")
     previous = _default_engine
     set_engine(engine)

@@ -1,0 +1,352 @@
+"""The long-lived remote worker: ``python -m repro worker --serve``.
+
+A worker binds a TCP port, runs the registry bootstrap
+(:mod:`repro.engine.bootstrap`: ``REPRO_BOOTSTRAP`` specs, its own
+``--bootstrap`` flags, installed ``repro.registrations`` entry
+points), then serves shard requests from
+:class:`~repro.engine.backends.remote.RemoteBackend` clients until
+killed.  Evaluation goes through the very same pure
+``compute_batch`` path every local backend uses (via
+:class:`~repro.engine.backends.serial.SerialBackend`), so remote
+results are bit-identical to serial by construction.
+
+The worker announces readiness by printing one line to stdout::
+
+    repro worker: listening on HOST:PORT
+
+which is how :func:`start_loopback_workers` (tests, benchmarks, the
+CI smoke) discovers ephemeral ports (``--serve 127.0.0.1:0``).
+Request logs go to stderr; engine events produced while computing a
+shard are streamed back to the requesting client, not printed.
+
+Ops served (see :mod:`repro.engine.backends.remote` for framing):
+``hello`` (version/schema handshake + registry snapshot),
+``registries`` (live registry names, used for up-front validation),
+``run_batches`` (evaluate a shard; streams ``event`` frames, then a
+``result`` frame), ``ping`` and ``shutdown``.
+"""
+
+from __future__ import annotations
+
+import os
+import select
+import socket
+import socketserver
+import subprocess
+import sys
+import traceback
+from typing import Any, Dict, List, Optional, Sequence, TextIO, Tuple
+
+from repro.serialization import SCHEMA_VERSION
+
+from .backends.remote import (
+    PROTOCOL_VERSION,
+    FrameTooLargeError,
+    RemoteProtocolError,
+    _decode_batch,
+    recv_frame,
+    send_frame,
+)
+from .bootstrap import run_bootstrap
+
+__all__ = ["serve", "start_loopback_workers", "stop_workers"]
+
+
+def _log(message: str) -> None:
+    print(f"repro worker: {message}", file=sys.stderr, flush=True)
+
+
+def _registry_names() -> Tuple[List[str], List[str]]:
+    """This process's registered (schemes, benchmarks), by name."""
+    from repro.core.schemes import SCHEME_REGISTRY
+    from repro.workloads.registry import WORKLOAD_REGISTRY
+
+    return list(SCHEME_REGISTRY.names()), list(WORKLOAD_REGISTRY.names())
+
+
+def _hello_response() -> Dict[str, Any]:
+    from repro import __version__
+
+    schemes, benchmarks = _registry_names()
+    return {
+        "ok": True,
+        "op": "hello",
+        "protocol": PROTOCOL_VERSION,
+        "schema": SCHEMA_VERSION,
+        "version": __version__,
+        "schemes": schemes,
+        "benchmarks": benchmarks,
+    }
+
+
+def _handle_run_batches(
+    request: Dict[str, Any], sock: socket.socket
+) -> None:
+    """Evaluate one shard, streaming events then the result frame."""
+    from .backends.serial import SerialBackend
+
+    try:
+        batches = [_decode_batch(b) for b in request.get("batches", ())]
+    except (KeyError, ValueError, TypeError) as exc:
+        send_frame(
+            sock,
+            {
+                "ok": False,
+                "op": "error",
+                "kind": "registry",
+                "error": (
+                    f"worker cannot decode the shard: {exc} -- likely a "
+                    "scheme/workload this worker has not registered; "
+                    "set REPRO_BOOTSTRAP or --bootstrap so workers run "
+                    "the same registrations as the client"
+                ),
+            },
+        )
+        return
+
+    def emit(kind: str, **data: Any) -> None:
+        send_frame(sock, {"op": "event", "kind": kind, "data": data})
+
+    try:
+        results = SerialBackend().run_batches(batches, emit)
+    except KeyError as exc:
+        send_frame(
+            sock,
+            {
+                "ok": False,
+                "op": "error",
+                "kind": "registry",
+                "error": (
+                    f"worker failed a registry lookup: {exc}. Set "
+                    "REPRO_BOOTSTRAP=module:function (or --bootstrap) "
+                    "so workers import the same registrations as the "
+                    "client."
+                ),
+            },
+        )
+        return
+    except Exception:
+        send_frame(
+            sock,
+            {
+                "ok": False,
+                "op": "error",
+                "kind": "compute",
+                "error": traceback.format_exc(),
+            },
+        )
+        return
+    try:
+        send_frame(
+            sock,
+            {
+                "ok": True,
+                "op": "result",
+                "shard": request.get("shard"),
+                "batches": [
+                    [cell.to_payload() for cell in cells]
+                    for cells in results
+                ],
+            },
+        )
+    except FrameTooLargeError as exc:
+        # deterministic: report it as a small error frame so the
+        # client raises instead of treating this worker as lost
+        send_frame(
+            sock,
+            {
+                "ok": False,
+                "op": "error",
+                "kind": "compute",
+                "error": f"result frame too large: {exc}",
+            },
+        )
+
+
+class _WorkerServer(socketserver.ThreadingTCPServer):
+    """One thread per client connection; requests serial per client."""
+
+    allow_reuse_address = True
+    daemon_threads = True
+
+
+class _WorkerHandler(socketserver.BaseRequestHandler):
+    """Frame loop for one client connection."""
+
+    def handle(self) -> None:  # noqa: D102 - socketserver contract
+        peer = f"{self.client_address[0]}:{self.client_address[1]}"
+        _log(f"client connected: {peer}")
+        sock = self.request
+        try:
+            while True:
+                try:
+                    request = recv_frame(sock)
+                except RemoteProtocolError as exc:
+                    _log(f"protocol error from {peer}: {exc}")
+                    return
+                if request is None:
+                    _log(f"client disconnected: {peer}")
+                    return
+                op = request.get("op")
+                if op == "hello":
+                    send_frame(sock, _hello_response())
+                elif op == "registries":
+                    schemes, benchmarks = _registry_names()
+                    send_frame(
+                        sock,
+                        {
+                            "ok": True,
+                            "op": "registries",
+                            "schemes": schemes,
+                            "benchmarks": benchmarks,
+                        },
+                    )
+                elif op == "run_batches":
+                    n = len(request.get("batches", ()))
+                    _log(
+                        f"shard {request.get('shard')} from {peer}: "
+                        f"{n} batches"
+                    )
+                    _handle_run_batches(request, sock)
+                elif op == "ping":
+                    send_frame(sock, {"ok": True, "op": "pong"})
+                elif op == "shutdown":
+                    send_frame(sock, {"ok": True, "op": "bye"})
+                    _log(f"shutdown requested by {peer}")
+                    self.server.shutdown()
+                    return
+                else:
+                    send_frame(
+                        sock,
+                        {
+                            "ok": False,
+                            "op": "error",
+                            "error": f"unknown op {op!r}",
+                        },
+                    )
+        except (OSError, BrokenPipeError):
+            _log(f"connection to {peer} dropped")
+
+
+def serve(
+    host: str,
+    port: int,
+    bootstrap: Sequence[str] = (),
+    ready_stream: Optional[TextIO] = None,
+) -> None:
+    """Run a worker until shut down (the ``repro worker`` subcommand).
+
+    Binds ``host:port`` (port 0 picks a free port), runs the bootstrap
+    hooks, prints the readiness line (with the actual port) to
+    ``ready_stream``/stdout, and serves requests forever.
+    """
+    ran = run_bootstrap(extra=bootstrap)
+    if ran:
+        _log(f"bootstrap: ran {', '.join(ran)}")
+    server = _WorkerServer((host, port), _WorkerHandler)
+    bound_host, bound_port = server.server_address[:2]
+    stream = ready_stream if ready_stream is not None else sys.stdout
+    print(
+        f"repro worker: listening on {bound_host}:{bound_port}",
+        file=stream,
+        flush=True,
+    )
+    schemes, benchmarks = _registry_names()
+    _log(
+        f"serving {len(schemes)} schemes, {len(benchmarks)} benchmarks "
+        f"(pid {os.getpid()})"
+    )
+    try:
+        server.serve_forever()
+    finally:
+        server.server_close()
+        _log("stopped")
+
+
+# ----------------------------------------------------------------------
+# loopback helpers (tests, benchmarks, the CI smoke)
+# ----------------------------------------------------------------------
+def start_loopback_workers(
+    n: int = 2,
+    extra_env: Optional[Dict[str, str]] = None,
+    extra_paths: Sequence[str] = (),
+    startup_timeout: float = 60.0,
+) -> Tuple[List[subprocess.Popen], List[str]]:
+    """Spawn ``n`` local workers on ephemeral ports; return their handles.
+
+    Each worker is a ``python -m repro worker --serve 127.0.0.1:0``
+    subprocess with ``PYTHONPATH`` set so it imports the same ``repro``
+    package as the caller (plus ``extra_paths``, e.g. a test package
+    providing a bootstrap module).  Returns ``(processes, addresses)``
+    with addresses in ``host:port`` form, parsed from each worker's
+    readiness line.  Call :func:`stop_workers` when done.
+    """
+    from pathlib import Path
+
+    import repro
+
+    src_dir = str(Path(repro.__file__).resolve().parents[1])
+    env = dict(os.environ)
+    paths = [src_dir, *[str(p) for p in extra_paths]]
+    existing = env.get("PYTHONPATH")
+    if existing:
+        paths.append(existing)
+    env["PYTHONPATH"] = os.pathsep.join(paths)
+    if extra_env:
+        env.update(extra_env)
+
+    processes: List[subprocess.Popen] = []
+    addresses: List[str] = []
+    try:
+        for _ in range(n):
+            proc = subprocess.Popen(
+                [
+                    sys.executable,
+                    "-m",
+                    "repro",
+                    "worker",
+                    "--serve",
+                    "127.0.0.1:0",
+                ],
+                env=env,
+                stdout=subprocess.PIPE,
+                stderr=subprocess.DEVNULL,
+                text=True,
+            )
+            processes.append(proc)
+        for proc in processes:
+            assert proc.stdout is not None
+            readable, _, _ = select.select(
+                [proc.stdout], [], [], startup_timeout
+            )
+            if not readable:
+                raise RuntimeError(
+                    f"worker {proc.pid} did not report readiness within "
+                    f"{startup_timeout}s"
+                )
+            line = proc.stdout.readline()
+            if "listening on" not in line:
+                raise RuntimeError(
+                    f"worker {proc.pid} failed to start "
+                    f"(exit {proc.poll()}, said {line!r})"
+                )
+            addresses.append(line.rsplit("listening on", 1)[1].strip())
+    except BaseException:
+        stop_workers(processes)
+        raise
+    return processes, addresses
+
+
+def stop_workers(processes: Sequence[subprocess.Popen]) -> None:
+    """Terminate loopback workers started by :func:`start_loopback_workers`."""
+    for proc in processes:
+        if proc.poll() is None:
+            proc.terminate()
+    for proc in processes:
+        try:
+            proc.wait(timeout=10)
+        except subprocess.TimeoutExpired:
+            proc.kill()
+            proc.wait(timeout=10)
+        if proc.stdout is not None:
+            proc.stdout.close()

@@ -1,0 +1,17 @@
+"""Shared engine-test fixtures: loopback remote workers."""
+
+import pytest
+
+from repro.engine.worker import start_loopback_workers, stop_workers
+
+
+@pytest.fixture(scope="session")
+def loopback_workers():
+    """Two local ``python -m repro worker`` processes on free ports.
+
+    Session-scoped and shared: tests that kill workers must start
+    their own (see ``test_remote.TestFailover``).
+    """
+    processes, addresses = start_loopback_workers(2)
+    yield addresses
+    stop_workers(processes)

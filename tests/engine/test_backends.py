@@ -26,8 +26,8 @@ def _specs():
 
 
 class TestFactory:
-    def test_four_backends_registered(self):
-        assert {"serial", "thread", "process", "sharded"} <= set(
+    def test_in_tree_backends_registered(self):
+        assert {"serial", "thread", "process", "sharded", "remote"} <= set(
             backend_names()
         )
 
@@ -226,16 +226,20 @@ class TestEngineCacheDetachment:
 
 
 class TestProcessBackendRegistryVisibility:
-    def test_late_registration_fails_actionably(self):
+    def test_late_registration_fails_actionably_before_dispatch(self):
         """A workload registered after the worker pool exists is
         invisible to the workers (always under spawn; under fork, for
-        anything registered post-fork).  That must surface as an
-        actionable RuntimeError, not a raw KeyError traceback.  Two
-        cell groups force real pool dispatch (a single batch is
-        evaluated in-process and would mask the worker-side miss)."""
+        anything registered post-fork).  The up-front registry probe
+        must surface that as an actionable RuntimeError *before* any
+        cell ships -- naming the bootstrap hook remedy -- not as a raw
+        pickled KeyError traceback mid-run.  Two cell groups force
+        real pool dispatch (a single batch is evaluated in-process
+        and would mask the worker-side miss)."""
+        from repro.engine import EventLog
         from repro.workloads import register_synthetic, unregister_workload
 
         eng = ExperimentEngine(jobs=2, backend="process")
+        log = eng.subscribe(EventLog())
         # spin the workers up on built-in cells first (two groups, so
         # the batched dispatch really creates the pool)
         eng.run_cells(
@@ -244,14 +248,18 @@ class TestProcessBackendRegistryVisibility:
                 + benchmark_specs("fmm", "decode", "nominal")
             )
         )
+        n_warmup = len(log.of_kind("cell_computed"))
         register_synthetic("synth_proc_late", heterogeneity=2.0)
         try:
             specs = list(
                 benchmark_specs("synth_proc_late", "decode", "synts")
                 + benchmark_specs("synth_proc_late", "simple_alu", "synts")
             )
-            with pytest.raises(RuntimeError, match="thread or serial"):
+            with pytest.raises(RuntimeError, match="thread or serial") as err:
                 eng.run_cells(specs)
+            assert "REPRO_BOOTSTRAP" in str(err.value)
+            # the probe fired before dispatch: no synthetic cell ran
+            assert len(log.of_kind("cell_computed")) == n_warmup
         finally:
             eng.close()
             unregister_workload("synth_proc_late")

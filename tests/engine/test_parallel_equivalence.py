@@ -4,7 +4,9 @@ of their specs, online streams are derived from spec content hashes).
 
 The backend sweep runs over the full fig_6_18 + headline cell set:
 every (benchmark, stage, scheme, interval) cell of the paper's main
-result figures, offline and online."""
+result figures, offline and online.  The ``remote`` parametrization
+dispatches the same set to two loopback worker subprocesses over the
+real wire protocol."""
 
 import pytest
 from hypothesis import HealthCheck, given, settings
@@ -21,8 +23,13 @@ from repro.experiments import fig_6_18, table_5_1
 from repro.experiments.common import STAGES
 
 #: Backends swept against the serial reference.  ``sharded`` wraps a
-#: 4-worker ProcessBackend -- the acceptance configuration.
-EQUIVALENCE_BACKENDS = ("thread", "process", "sharded")
+#: 4-worker ProcessBackend -- the acceptance configuration; ``remote``
+#: ships shards to two loopback worker subprocesses.
+EQUIVALENCE_BACKENDS = ("thread", "process", "sharded", "remote")
+
+#: The in-process subset (hypothesis sweeps these without paying a
+#: worker-subprocess spin-up per example).
+LOCAL_BACKENDS = ("thread", "process", "sharded")
 
 
 def _figure_cell_set():
@@ -45,10 +52,15 @@ def serial_reference():
 class TestBackendEquivalence:
     @pytest.mark.parametrize("backend", EQUIVALENCE_BACKENDS)
     def test_backend_matches_serial_on_figure_cells(
-        self, serial_reference, backend
+        self, serial_reference, backend, request
     ):
         specs, reference = serial_reference
-        with ExperimentEngine(jobs=4, backend=backend) as eng:
+        kwargs = (
+            {"remote_workers": request.getfixturevalue("loopback_workers")}
+            if backend == "remote"
+            else {}
+        )
+        with ExperimentEngine(jobs=4, backend=backend, **kwargs) as eng:
             results = eng.run_cells(specs)
         assert results == reference
 
@@ -98,7 +110,7 @@ class TestCellEquivalence:
         suppress_health_check=[HealthCheck.too_slow],
     )
     @given(
-        backend=st.sampled_from(EQUIVALENCE_BACKENDS),
+        backend=st.sampled_from(LOCAL_BACKENDS),
         benchmark=st.sampled_from(("radix", "fmm", "cholesky")),
         scheme=st.sampled_from(("synts", "per_core_ts", "online")),
         seed=st.integers(min_value=0, max_value=2**31 - 1),

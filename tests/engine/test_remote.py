@@ -1,0 +1,376 @@
+"""Remote executor backend: protocol, dispatch, failover, bootstrap.
+
+Loopback workers (``python -m repro worker --serve 127.0.0.1:0``) are
+real subprocesses speaking the real length-prefixed JSON protocol, so
+these tests cover the wire format, the content-keyed shard dispatch,
+the up-front registry validation, ``worker_lost`` failover and the
+``REPRO_BOOTSTRAP`` hook end to end.
+"""
+
+import os
+from pathlib import Path
+
+import pytest
+
+from repro.engine import (
+    EventLog,
+    ExperimentEngine,
+    RemoteBackend,
+    benchmark_specs,
+    make_backend,
+)
+from repro.engine.backends.remote import parse_worker_addresses
+from repro.engine.worker import start_loopback_workers, stop_workers
+
+REPO_ROOT = str(Path(__file__).resolve().parents[2])
+BOOTSTRAP_SPEC = "tests.engine.bootstrap_reg:register"
+
+
+def _two_group_specs():
+    return list(
+        benchmark_specs("radix", "decode", "synts")
+        + benchmark_specs("fmm", "decode", "nominal")
+    )
+
+
+class TestAddressParsing:
+    def test_comma_separated_string(self):
+        assert parse_worker_addresses("a:1, b:2") == (("a", 1), ("b", 2))
+
+    def test_sequences_and_tuples(self):
+        assert parse_worker_addresses(["h:7700", ("k", 7701)]) == (
+            ("h", 7700),
+            ("k", 7701),
+        )
+
+    def test_rejects_missing_port(self):
+        with pytest.raises(ValueError, match="HOST:PORT"):
+            parse_worker_addresses("justahost")
+
+    def test_rejects_bad_port(self):
+        with pytest.raises(ValueError, match="port"):
+            parse_worker_addresses("h:notaport")
+        with pytest.raises(ValueError, match="range"):
+            parse_worker_addresses("h:70000")
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError, match="at least one"):
+            parse_worker_addresses("")
+
+
+class TestFactory:
+    def test_remote_is_registered(self):
+        from repro.engine import backend_names
+
+        assert "remote" in backend_names()
+
+    def test_remote_requires_worker_addresses(self):
+        with pytest.raises(ValueError, match="--workers"):
+            make_backend("remote")
+
+    def test_remote_from_addresses(self):
+        backend = make_backend(
+            "remote", remote_workers="host1:7700,host2:7701"
+        )
+        assert isinstance(backend, RemoteBackend)
+        assert backend.describe() == "remote[2]"
+        assert backend.is_parallel
+        backend.close()
+
+    def test_single_worker_is_not_parallel(self):
+        backend = RemoteBackend("host1:7700")
+        assert not backend.is_parallel
+        backend.close()
+
+    def test_other_backends_reject_remote_workers_option(self):
+        with pytest.raises(ValueError, match="--backend remote"):
+            make_backend("sharded", remote_workers="h:1")
+
+    def test_engine_defaults_to_remote_when_workers_given(self):
+        eng = ExperimentEngine(remote_workers="host1:7700")
+        assert eng.backend.name == "remote"  # connects lazily
+        eng.close()
+
+
+class TestLoopbackDispatch:
+    def test_remote_equals_serial(self, loopback_workers):
+        specs = _two_group_specs()
+        with ExperimentEngine(backend="serial") as eng:
+            reference = eng.run_cells(specs)
+        with ExperimentEngine(
+            backend="remote", remote_workers=loopback_workers
+        ) as eng:
+            assert eng.run_cells(specs) == reference
+
+    def test_online_cells_remote_equals_serial(self, loopback_workers):
+        specs = list(
+            benchmark_specs(
+                "cholesky", "simple_alu", "online", seed=11, n_samp=2_000
+            )
+        )
+        with ExperimentEngine(backend="serial") as eng:
+            reference = eng.run_cells(specs)
+        with ExperimentEngine(
+            backend="remote", remote_workers=loopback_workers
+        ) as eng:
+            assert eng.run_cells(specs) == reference
+
+    def test_worker_events_forwarded_with_worker_tag(
+        self, loopback_workers
+    ):
+        specs = _two_group_specs()
+        eng = ExperimentEngine(
+            backend="remote", remote_workers=loopback_workers
+        )
+        log = eng.subscribe(EventLog())
+        eng.run_cells(specs)
+        eng.close()
+        computed = log.of_kind("cell_computed")
+        assert len(computed) == len(specs)
+        assert all(e.get("worker") for e in computed)
+        started = log.of_kind("shard_started")
+        assert started and all(e.get("worker") for e in started)
+        assert sum(e.get("n_cells") for e in started) == len(specs)
+
+    def test_registry_validation_fails_before_dispatch(
+        self, loopback_workers
+    ):
+        """A workload the workers cannot resolve must fail up front,
+        actionably, without computing anything remotely."""
+        from repro.workloads import register_synthetic, unregister_workload
+
+        register_synthetic("synth_remote_late", heterogeneity=2.0)
+        eng = ExperimentEngine(
+            backend="remote", remote_workers=loopback_workers
+        )
+        log = eng.subscribe(EventLog())
+        try:
+            specs = list(
+                benchmark_specs("synth_remote_late", "decode", "synts")
+            )
+            with pytest.raises(RuntimeError, match="REPRO_BOOTSTRAP"):
+                eng.run_cells(specs)
+            assert log.of_kind("cell_computed") == []
+            assert log.of_kind("shard_started") == []
+        finally:
+            eng.close()
+            unregister_workload("synth_remote_late")
+
+
+class TestFailover:
+    def test_lost_worker_fails_over_to_survivor(self):
+        processes, addresses = start_loopback_workers(2)
+        try:
+            eng = ExperimentEngine(
+                backend="remote", remote_workers=addresses
+            )
+            log = eng.subscribe(EventLog())
+            eng.run_cells(list(benchmark_specs("radix", "decode", "synts")))
+            assert log.of_kind("worker_lost") == []
+
+            processes[0].terminate()
+            processes[0].wait(timeout=10)
+            specs = list(
+                benchmark_specs("fmm", "decode", "no_ts")
+                + benchmark_specs("barnes", "decode", "per_core_ts")
+            )
+            with ExperimentEngine(backend="serial") as serial:
+                reference = serial.run_cells(specs)
+            assert eng.run_cells(specs) == reference
+            lost = log.of_kind("worker_lost")
+            assert len(lost) == 1
+            assert lost[0].get("worker") == addresses[0]
+            eng.close()
+        finally:
+            stop_workers(processes)
+
+    def test_all_workers_lost_raises_actionably(self):
+        processes, addresses = start_loopback_workers(1)
+        try:
+            eng = ExperimentEngine(
+                backend="remote", remote_workers=addresses
+            )
+            eng.run_cells(list(benchmark_specs("radix", "decode", "synts")))
+            stop_workers(processes)
+            with pytest.raises(RuntimeError, match="worker"):
+                eng.run_cells(
+                    list(benchmark_specs("fmm", "decode", "synts"))
+                )
+            eng.close()
+        finally:
+            stop_workers(processes)
+
+    def test_unreachable_workers_raise_actionably(self):
+        # a port nothing listens on: connect is refused immediately
+        eng = ExperimentEngine(
+            backend="remote", remote_workers="127.0.0.1:9"
+        )
+        log = eng.subscribe(EventLog())
+        with pytest.raises(RuntimeError, match="no remote workers"):
+            eng.run_cells(list(benchmark_specs("radix", "decode", "synts")))
+        assert len(log.of_kind("worker_lost")) == 1
+        eng.close()
+
+
+class TestBootstrapHook:
+    def test_parse_bootstrap_rejects_bad_specs(self):
+        from repro.engine.bootstrap import parse_bootstrap
+
+        with pytest.raises(RuntimeError, match="no_such_module"):
+            parse_bootstrap("no_such_module_xyz:register")
+        with pytest.raises(RuntimeError, match="no attribute"):
+            parse_bootstrap("tests.engine.bootstrap_reg:missing_fn")
+        with pytest.raises(RuntimeError, match="non-callable"):
+            parse_bootstrap("tests.engine.bootstrap_reg:SYNTH_NAME")
+
+    def test_bootstrap_specs_merges_env_and_extra(self, monkeypatch):
+        from repro.engine.bootstrap import bootstrap_specs
+
+        monkeypatch.setenv("REPRO_BOOTSTRAP", "a:f, b:g ,, a:f")
+        assert bootstrap_specs(["c:h", "a:f"]) == ["a:f", "b:g", "c:h"]
+        monkeypatch.delenv("REPRO_BOOTSTRAP")
+        assert bootstrap_specs() == []
+
+    def test_run_bootstrap_is_idempotent(self, monkeypatch):
+        from repro.engine import bootstrap
+        from repro.workloads import unregister_workload
+
+        from . import bootstrap_reg
+
+        monkeypatch.setenv("REPRO_BOOTSTRAP", BOOTSTRAP_SPEC)
+        monkeypatch.setattr(bootstrap, "_already_run", set())
+        try:
+            assert bootstrap.run_bootstrap() == [BOOTSTRAP_SPEC]
+            assert bootstrap.run_bootstrap() == []  # second run: no-op
+        finally:
+            if bootstrap_reg.SYNTH_NAME in _workload_names():
+                unregister_workload(bootstrap_reg.SYNTH_NAME)
+
+    def test_synthetic_resolves_on_remote_workers(self):
+        """The acceptance path: a runtime-registered synthetic
+        workload resolves on remote workers via REPRO_BOOTSTRAP."""
+        from repro.workloads import unregister_workload
+
+        from . import bootstrap_reg
+
+        processes, addresses = start_loopback_workers(
+            2,
+            extra_env={"REPRO_BOOTSTRAP": BOOTSTRAP_SPEC},
+            extra_paths=[REPO_ROOT],
+        )
+        bootstrap_reg.register()
+        try:
+            specs = list(
+                benchmark_specs(bootstrap_reg.SYNTH_NAME, "decode", "synts")
+                + benchmark_specs(
+                    bootstrap_reg.SYNTH_NAME, "simple_alu", "per_core_ts"
+                )
+            )
+            with ExperimentEngine(backend="serial") as eng:
+                reference = eng.run_cells(specs)
+            with ExperimentEngine(
+                backend="remote", remote_workers=addresses
+            ) as eng:
+                assert eng.run_cells(specs) == reference
+        finally:
+            stop_workers(processes)
+            unregister_workload(bootstrap_reg.SYNTH_NAME)
+
+    def test_synthetic_resolves_on_process_pool(self, monkeypatch):
+        """Same acceptance path for the process pool: the worker
+        initialiser runs the bootstrap, so the up-front registry probe
+        and the dispatch both resolve the synthetic workload."""
+        from repro.workloads import unregister_workload
+
+        from . import bootstrap_reg
+
+        monkeypatch.setenv("REPRO_BOOTSTRAP", BOOTSTRAP_SPEC)
+        bootstrap_reg.register()
+        try:
+            specs = list(
+                benchmark_specs(bootstrap_reg.SYNTH_NAME, "decode", "synts")
+                + benchmark_specs(
+                    bootstrap_reg.SYNTH_NAME, "simple_alu", "synts"
+                )
+            )
+            with ExperimentEngine(backend="serial") as eng:
+                reference = eng.run_cells(specs)
+            with ExperimentEngine(jobs=2, backend="process") as eng:
+                assert eng.run_cells(specs) == reference
+        finally:
+            unregister_workload(bootstrap_reg.SYNTH_NAME)
+
+    def test_spawned_pool_worker_runs_bootstrap(self, monkeypatch):
+        """Under the spawn start method nothing is inherited, so a
+        resolving registry proves the initialiser hook itself."""
+        import multiprocessing
+        from concurrent.futures import ProcessPoolExecutor
+
+        from repro.engine.backends.process import (
+            _pool_initializer,
+            _worker_registry_names,
+        )
+        from repro.workloads import unregister_workload
+
+        from . import bootstrap_reg
+
+        monkeypatch.setenv("REPRO_BOOTSTRAP", BOOTSTRAP_SPEC)
+        pool = ProcessPoolExecutor(
+            max_workers=1,
+            mp_context=multiprocessing.get_context("spawn"),
+            initializer=_pool_initializer,
+        )
+        try:
+            _, benchmarks = pool.submit(_worker_registry_names).result(
+                timeout=120
+            )
+            assert bootstrap_reg.SYNTH_NAME in benchmarks
+        finally:
+            pool.shutdown(wait=True)
+            if bootstrap_reg.SYNTH_NAME in _workload_names():
+                unregister_workload(bootstrap_reg.SYNTH_NAME)
+
+
+def _workload_names():
+    from repro.workloads import workload_names
+
+    return workload_names()
+
+
+class TestWorkerCLI:
+    def test_worker_help_exits_zero(self, capsys):
+        from repro.__main__ import main
+
+        with pytest.raises(SystemExit) as err:
+            main(["worker", "--help"])
+        assert err.value.code == 0
+        out = capsys.readouterr().out
+        assert "--serve" in out and "--bootstrap" in out
+
+    def test_worker_bad_serve_address(self, capsys):
+        from repro.__main__ import main
+
+        assert main(["worker", "--serve", "nocolon"]) == 2
+        assert "HOST:PORT" in capsys.readouterr().err
+
+    def test_cli_run_over_loopback_workers(self, capsys, loopback_workers):
+        """`python -m repro fig_4_7 --backend remote --workers ...`."""
+        from repro.__main__ import main
+
+        code = main(
+            [
+                "fig_4_7",
+                "--backend",
+                "remote",
+                "--workers",
+                ",".join(loopback_workers),
+            ]
+        )
+        assert code == 0
+        assert "sampling" in capsys.readouterr().out.lower()
+
+    def test_cli_remote_without_workers_is_actionable(self, capsys):
+        from repro.__main__ import main
+
+        assert main(["fig_4_7", "--backend", "remote"]) == 2
+        assert "--workers" in capsys.readouterr().err

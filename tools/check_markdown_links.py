@@ -1,0 +1,108 @@
+#!/usr/bin/env python3
+"""Check intra-repo markdown links.
+
+Scans the repo's markdown files for ``[text](target)`` links and
+verifies that every *relative* target resolves to an existing file or
+directory (anchors are stripped; external ``http(s)://`` / ``mailto:``
+targets are skipped).  Exits non-zero listing every broken link --
+CI's docs job runs this so README/docs cross-references cannot rot.
+
+Usage::
+
+    python tools/check_markdown_links.py [path ...]
+
+With no arguments, checks every ``*.md`` under the repo root
+(skipping dot-directories and common build/cache dirs).
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+
+#: Directories never scanned for markdown files.
+SKIP_DIRS = {
+    ".git",
+    ".pytest_cache",
+    ".ruff_cache",
+    ".hypothesis",
+    "__pycache__",
+    "build",
+    "dist",
+    "node_modules",
+}
+
+#: ``[text](target)`` -- good enough for the repo's plain markdown
+#: (no reference-style links in use).
+LINK_PATTERN = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+
+#: Targets that are not intra-repo files.
+EXTERNAL_PREFIXES = ("http://", "https://", "mailto:", "ftp://")
+
+
+def iter_markdown_files(paths: list[str]) -> list[Path]:
+    """Resolve CLI arguments (files or directories) to markdown files."""
+    if not paths:
+        paths = [str(REPO_ROOT)]
+    files: list[Path] = []
+    for raw in paths:
+        path = Path(raw)
+        if path.is_file():
+            files.append(path)
+            continue
+        for candidate in sorted(path.rglob("*.md")):
+            parts = set(candidate.relative_to(path).parts[:-1])
+            if parts & SKIP_DIRS or any(
+                part.startswith(".") for part in parts
+            ):
+                continue
+            files.append(candidate)
+    return files
+
+
+def check_file(path: Path) -> list[str]:
+    """Broken-link descriptions for one markdown file."""
+    problems: list[str] = []
+    text = path.read_text(encoding="utf-8")
+    for match in LINK_PATTERN.finditer(text):
+        target = match.group(1)
+        if target.startswith(EXTERNAL_PREFIXES):
+            continue
+        if target.startswith("#"):  # same-file anchor
+            continue
+        relative = target.split("#", 1)[0]
+        if not relative:
+            continue
+        resolved = (path.parent / relative).resolve()
+        if not resolved.exists():
+            line = text.count("\n", 0, match.start()) + 1
+            problems.append(
+                f"{path.relative_to(REPO_ROOT)}:{line}: broken link "
+                f"-> {target}"
+            )
+    return problems
+
+
+def main(argv: list[str]) -> int:
+    """Entry point: check files, print problems, return exit code."""
+    files = iter_markdown_files(argv)
+    if not files:
+        print("check_markdown_links: no markdown files found", file=sys.stderr)
+        return 1
+    problems: list[str] = []
+    for path in files:
+        problems.extend(check_file(path))
+    for problem in problems:
+        print(problem, file=sys.stderr)
+    print(
+        f"check_markdown_links: {len(files)} files, "
+        f"{len(problems)} broken links"
+    )
+    return 1 if problems else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv[1:]))
