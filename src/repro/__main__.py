@@ -12,7 +12,11 @@ Usage::
     python -m repro table_5_1 --cache-dir .repro-cache   # warm reruns
     python -m repro ablation heterogeneity
     python -m repro worker --serve 0.0.0.0:7700          # remote worker
+    python -m repro worker --serve 0.0.0.0:7700 --cache-dir /var/repro \
+        --token SECRET                                   # cached + authed
     python -m repro fig_6_18 --backend remote --workers host1:7700,host2:7700
+    python -m repro cache info --cache-dir .repro-cache  # store maintenance
+    python -m repro cache prune --older-than 7d --cache-dir .repro-cache
 
 Every regeneration goes through the experiment engine:
 
@@ -23,12 +27,16 @@ Every regeneration goes through the experiment engine:
   serial); ``--shards`` sizes the sharded backend's content-keyed
   partitions; ``--workers HOST:PORT[,...]`` names the remote
   backend's worker processes (``python -m repro worker``);
+  ``--token`` (or ``REPRO_WORKER_TOKEN``) is the workers' shared
+  auth secret;
 * ``--cache-dir DIR`` persists every cell and figure to a
-  content-addressed on-disk cache, so repeated runs -- and figures
-  sharing sub-problems -- skip the recomputation;
+  content-addressed on-disk result store, so repeated runs -- and
+  figures sharing sub-problems -- skip the recomputation;
+  ``--store {memory,jsondir,tiered}`` picks the store layering
+  (default: tiered memory+disk when a cache dir is given);
 * ``--progress`` streams human-readable engine progress to stderr;
   ``--log-json`` streams one JSON event per line instead;
-* ``--stats`` prints cache hit/miss accounting to stderr.
+* ``--stats`` prints store hit/miss accounting (per tier) to stderr.
 
 ``REPRO_BOOTSTRAP=module:function`` names registration hooks that the
 CLI, process-pool workers and remote workers all run at start-up, so
@@ -54,6 +62,7 @@ def _print_result(result) -> None:
 
 def _build_parser(experiments, ablations) -> argparse.ArgumentParser:
     from repro.engine.backends import backend_names
+    from repro.engine.store import store_names
 
     # engine options are accepted both before and after the subcommand.
     # SUPPRESS defaults are load-bearing: the subparser shares these
@@ -87,9 +96,23 @@ def _build_parser(experiments, ablations) -> argparse.ArgumentParser:
         "(each a 'python -m repro worker --serve' process)",
     )
     engine_opts.add_argument(
+        "--token",
+        default=argparse.SUPPRESS,
+        metavar="SECRET",
+        help="shared auth secret for --backend remote workers started "
+        "with --token (default: the REPRO_WORKER_TOKEN env var)",
+    )
+    engine_opts.add_argument(
         "--cache-dir",
         default=argparse.SUPPRESS,
-        help="persist results to an on-disk content-addressed cache",
+        help="persist results to an on-disk content-addressed store",
+    )
+    engine_opts.add_argument(
+        "--store",
+        choices=store_names(),
+        default=argparse.SUPPRESS,
+        help="result-store layering (default: tiered memory+disk when "
+        "--cache-dir is given, else memory)",
     )
     engine_opts.add_argument(
         "--stats",
@@ -172,7 +195,90 @@ def _build_parser(experiments, ablations) -> argparse.ArgumentParser:
         "addition to REPRO_BOOTSTRAP and installed entry points "
         "(repeatable; a bare MODULE means importing it registers)",
     )
+    # SUPPRESS, like the engine_opts parents: these names also exist
+    # on the main parser, and a plain default would clobber a value
+    # given before the subcommand (`repro --token S worker ...`)
+    worker_p.add_argument(
+        "--cache-dir",
+        metavar="DIR",
+        default=argparse.SUPPRESS,
+        help="keep a worker-side result store in DIR: shards computed "
+        "before (for any client) are served from it, and clients "
+        "dispatch with the spec-saving delta protocol",
+    )
+    worker_p.add_argument(
+        "--store",
+        choices=store_names(),
+        default=argparse.SUPPRESS,
+        help="worker store layering (default: tiered memory+disk "
+        "when --cache-dir is given)",
+    )
+    worker_p.add_argument(
+        "--token",
+        metavar="SECRET",
+        default=argparse.SUPPRESS,
+        help="require clients to authenticate with this shared secret "
+        "(HMAC over a per-connection nonce; default: the "
+        "REPRO_WORKER_TOKEN env var)",
+    )
+    cache_p = sub.add_parser(
+        "cache",
+        help="inspect or maintain a result store (info/prune/clear)",
+        description="Operate on a configured result store: 'info' "
+        "summarises entry counts and bytes per tier, 'prune "
+        "--older-than AGE' drops entries older than e.g. 7d/12h/30m, "
+        "'clear' removes every entry. The store defaults to the "
+        "on-disk jsondir layer of --cache-dir; --store picks any "
+        "registered store.",
+    )
+    cache_p.add_argument(
+        "action",
+        choices=("info", "prune", "clear"),
+        help="maintenance operation",
+    )
+    cache_p.add_argument(
+        "--cache-dir",
+        metavar="DIR",
+        default=argparse.SUPPRESS,
+        help="store directory (required for disk-backed stores)",
+    )
+    cache_p.add_argument(
+        "--store",
+        choices=store_names(),
+        default=argparse.SUPPRESS,
+        help="store to operate on (default: jsondir over --cache-dir)",
+    )
+    cache_p.add_argument(
+        "--older-than",
+        metavar="AGE",
+        help="prune threshold: seconds, or a number with a s/m/h/d "
+        "suffix (e.g. 7d)",
+    )
     return parser
+
+
+def _parse_duration(text: str) -> float:
+    """Seconds from ``AGE`` (plain seconds or s/m/h/d suffixed)."""
+    import math
+
+    units = {"s": 1.0, "m": 60.0, "h": 3600.0, "d": 86400.0}
+    raw = text.strip().lower()
+    scale = 1.0
+    if raw and raw[-1] in units:
+        scale = units[raw[-1]]
+        raw = raw[:-1]
+    try:
+        value = float(raw)
+    except ValueError:
+        value = math.nan
+    if not math.isfinite(value):
+        raise ValueError(
+            f"invalid duration {text!r}; use seconds or a s/m/h/d "
+            "suffix (e.g. 3600, 30m, 12h, 7d)"
+        )
+    if value < 0:
+        raise ValueError(f"duration {text!r} must be non-negative")
+    return value * scale
 
 
 #: Engine flags that consume the next token (``--flag value`` form).
@@ -183,6 +289,8 @@ _VALUE_FLAGS = (
     "--backend",
     "--shards",
     "--workers",
+    "--store",
+    "--token",
 )
 
 
@@ -198,7 +306,7 @@ def _normalize_argv(argv, experiments) -> list:
             # don't mistake a flag's value for the experiment token
             skip_value = token in _VALUE_FLAGS
             continue
-        if token in ("list", "run", "ablation", "worker"):
+        if token in ("list", "run", "ablation", "worker", "cache"):
             return argv
         if token in experiments or token == "all":
             return argv[:i] + ["run"] + argv[i:]
@@ -291,12 +399,16 @@ def main(argv=None) -> int:
         return 0
     if args.command == "worker":
         return _serve_worker(args)
+    if args.command == "cache":
+        return _cache_command(args)
 
     jobs = getattr(args, "jobs", None)
     cache_dir = getattr(args, "cache_dir", None)
     backend = getattr(args, "backend", None)
     shards = getattr(args, "shards", None)
     workers = getattr(args, "workers", None)
+    store = getattr(args, "store", None)
+    token = getattr(args, "token", None)
     stats = getattr(args, "stats", False)
     try:
         engine = ExperimentEngine(
@@ -305,6 +417,8 @@ def main(argv=None) -> int:
             backend=backend,
             shards=shards,
             remote_workers=workers,
+            store=store,
+            worker_token=token,
         )
     except (KeyError, ValueError, OSError, RuntimeError) as exc:
         print(f"repro: {exc}", file=sys.stderr)
@@ -328,6 +442,9 @@ def main(argv=None) -> int:
                 f"(jobs={engine.jobs}, backend={engine.backend.describe()})",
                 file=sys.stderr,
             )
+            for tier in engine.store_stats():
+                label = tier.pop("store", "?")
+                print(f"store tier {label}: {tier}", file=sys.stderr)
     return code
 
 
@@ -350,14 +467,69 @@ def _serve_worker(args) -> int:
         )
         return 2
     try:
-        serve(host, port, bootstrap=args.bootstrap)
-    except (RuntimeError, OSError) as exc:
-        # e.g. a failing bootstrap hook, or the port already bound
+        serve(
+            host,
+            port,
+            bootstrap=args.bootstrap,
+            cache_dir=getattr(args, "cache_dir", None),
+            store=getattr(args, "store", None),
+            token=getattr(args, "token", None),
+        )
+    except (RuntimeError, OSError, ValueError, KeyError) as exc:
+        # e.g. a failing bootstrap hook, a store needing a directory,
+        # or the port already bound
         print(f"repro worker: {exc}", file=sys.stderr)
         return 2
     except KeyboardInterrupt:
         pass
     return 0
+
+
+def _cache_command(args) -> int:
+    """Run the ``repro cache`` subcommand (info / prune / clear)."""
+    from repro.engine.store import make_store
+
+    cache_dir = getattr(args, "cache_dir", None)
+    name = getattr(args, "store", None) or "jsondir"
+    try:
+        store = make_store(name, cache_dir=cache_dir)
+    except (KeyError, ValueError) as exc:
+        print(f"repro cache: {exc}", file=sys.stderr)
+        return 2
+    if args.action == "info":
+        info = store.info()
+        print(f"store: {info.pop('store')}")
+        for tier in info.pop("tiers", ()):
+            print(
+                f"  tier {tier['store']}: {tier['entries']} entries, "
+                f"{tier['bytes']} bytes"
+            )
+        for field, value in info.items():
+            print(f"{field}: {value}")
+        return 0
+    if args.action == "prune":
+        older_than = getattr(args, "older_than", None)
+        if not older_than:
+            print(
+                "repro cache: prune needs --older-than AGE "
+                "(e.g. 7d, 12h, 3600)",
+                file=sys.stderr,
+            )
+            return 2
+        try:
+            seconds = _parse_duration(older_than)
+        except ValueError as exc:
+            print(f"repro cache: {exc}", file=sys.stderr)
+            return 2
+        removed = store.prune(seconds)
+        print(f"pruned {removed} entries older than {older_than}")
+        return 0
+    if args.action == "clear":
+        before = sum(1 for _ in store.entries())
+        store.clear()
+        print(f"cleared {before} entries")
+        return 0
+    return 2  # pragma: no cover
 
 
 def _dispatch(args, experiments, ablations) -> int:

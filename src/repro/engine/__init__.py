@@ -7,9 +7,12 @@ decomposes those sweeps into pure, picklable *cells*
 backend -- serial, thread pool, process pool, content-keyed shards
 over any of them, or remote workers on other machines
 (:mod:`~repro.engine.backends`) -- and memoises every
-result under content-hash keys (:mod:`~repro.engine.cache`,
-:mod:`~repro.engine.serialize`) -- in memory within a session and
-optionally on disk across sessions (``--cache-dir``).  Progress is
+result under content-hash keys in a pluggable, tiered result store
+(:mod:`~repro.engine.store`, :mod:`~repro.engine.serialize`; the
+:class:`~repro.engine.cache.ResultCache` facade) -- in memory within
+a session, on disk across sessions (``--cache-dir`` / ``--store``),
+and on cache-keeping remote workers across clients (the delta
+protocol of :mod:`~repro.engine.backends.remote`).  Progress is
 observable as a structured event stream
 (:mod:`~repro.engine.events`).
 
@@ -57,6 +60,16 @@ from .events import EngineEvent, EventLog, JsonLinesPrinter, ProgressPrinter
 from .executor import ExperimentEngine
 from .serialize import canonical_json, content_key, sanitize
 from .session import engine_session, get_engine, set_engine
+from .store import (
+    JsonDirStore,
+    MemoryStore,
+    ResultStore,
+    StoreStats,
+    TieredStore,
+    make_store,
+    register_store,
+    store_names,
+)
 
 __all__ = [
     "BenchmarkTotals",
@@ -68,14 +81,19 @@ __all__ = [
     "EventLog",
     "ExecutorBackend",
     "ExperimentEngine",
+    "JsonDirStore",
     "JsonLinesPrinter",
+    "MemoryStore",
     "ProcessBackend",
     "ProgressPrinter",
     "RemoteBackend",
     "ResultCache",
+    "ResultStore",
     "SerialBackend",
     "ShardedBackend",
+    "StoreStats",
     "ThreadBackend",
+    "TieredStore",
     "backend_names",
     "benchmark_specs",
     "cached_interval_problems",
@@ -88,9 +106,12 @@ __all__ = [
     "get_engine",
     "group_cells",
     "make_backend",
+    "make_store",
     "register_backend",
+    "register_store",
     "run_bootstrap",
     "sanitize",
     "set_engine",
+    "store_names",
     "totalize",
 ]

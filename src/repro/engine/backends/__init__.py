@@ -24,8 +24,13 @@ worker addresses) declares keyword-only parameters and
 
 from __future__ import annotations
 
-import inspect
 from typing import Callable, Dict, Optional, Tuple
+
+from repro.engine._registry import (
+    register_factory,
+    resolve_factory,
+    validate_factory_options,
+)
 
 from .base import EmitFn, ExecutorBackend, null_emit
 from .process import ProcessBackend
@@ -82,6 +87,7 @@ def _make_remote(
     shards: Optional[int],
     *,
     remote_workers=None,
+    worker_token=None,
 ) -> ExecutorBackend:
     if not remote_workers:
         raise ValueError(
@@ -89,7 +95,11 @@ def _make_remote(
             "HOST:PORT[,HOST:PORT...] (start workers with "
             "'python -m repro worker --serve HOST:PORT')"
         )
-    return RemoteBackend(remote_workers)
+    import os
+
+    if worker_token is None:
+        worker_token = os.environ.get("REPRO_WORKER_TOKEN") or None
+    return RemoteBackend(remote_workers, token=worker_token)
 
 
 _FACTORIES: Dict[str, BackendFactory] = {
@@ -101,36 +111,25 @@ _FACTORIES: Dict[str, BackendFactory] = {
 }
 
 
+#: Guidance appended when a CLI-originated option misses its backend.
+_OPTION_HINTS = {
+    "remote_workers": "; --workers selects remote worker addresses -- "
+    "use --backend remote",
+    "worker_token": "; --token is the remote workers' shared auth "
+    "secret -- use --backend remote",
+}
+
+
 def register_backend(
     name: str, factory: BackendFactory, *, replace: bool = False
 ) -> None:
     """Add an out-of-tree backend factory to :func:`make_backend`."""
-    if name in _FACTORIES and not replace:
-        raise ValueError(
-            f"backend {name!r} is already registered; pass replace=True "
-            "to override it deliberately"
-        )
-    _FACTORIES[name] = factory
+    register_factory(_FACTORIES, "backend", name, factory, replace)
 
 
 def backend_names() -> Tuple[str, ...]:
     """Names :func:`make_backend` accepts."""
     return tuple(_FACTORIES)
-
-
-def _factory_option_names(factory: BackendFactory) -> Optional[frozenset]:
-    """Keyword-only option names a factory accepts (``None`` = any)."""
-    try:
-        parameters = inspect.signature(factory).parameters
-    except (TypeError, ValueError):  # builtins, odd callables
-        return frozenset()
-    names = set()
-    for parameter in parameters.values():
-        if parameter.kind is inspect.Parameter.VAR_KEYWORD:
-            return None
-        if parameter.kind is inspect.Parameter.KEYWORD_ONLY:
-            names.add(parameter.name)
-    return frozenset(names)
 
 
 def make_backend(
@@ -149,27 +148,13 @@ def make_backend(
     parameter; passing an option the chosen backend does not accept
     is an error, not a silent no-op.
     """
-    try:
-        factory = _FACTORIES[name]
-    except KeyError:
-        raise KeyError(
-            f"unknown backend {name!r}; registered backends: "
-            f"{sorted(_FACTORIES)}. Register new backends with "
-            "repro.engine.backends.register_backend(...)"
-        ) from None
-    options = {k: v for k, v in options.items() if v is not None}
-    accepted = _factory_option_names(factory)
-    if accepted is not None:
-        unknown = set(options) - accepted
-        if unknown:
-            raise ValueError(
-                f"backend {name!r} does not accept option(s) "
-                f"{sorted(unknown)}"
-                + (
-                    "; --workers selects remote worker addresses -- "
-                    "use --backend remote"
-                    if "remote_workers" in unknown
-                    else ""
-                )
-            )
+    factory = resolve_factory(
+        _FACTORIES,
+        "backend",
+        name,
+        "repro.engine.backends.register_backend(...)",
+    )
+    options = validate_factory_options(
+        "backend", name, factory, options, hints=_OPTION_HINTS
+    )
     return factory(max(1, int(workers)), shards, **options)

@@ -16,6 +16,17 @@ same way they cover local work.  Events for a shard are buffered until
 the shard's result frame arrives: a shard that fails over to another
 worker never double-reports its cells.
 
+The protocol is **cache-aware**: a worker started with
+``--cache-dir`` keeps its own result store, and dispatch to such a
+worker is a two-phase *delta protocol* -- the client first sends the
+shard's cell keys (``query_keys``), the worker answers with the keys
+it already holds, and the client ships only the missing cells' specs.
+Cells the worker serves from its store arrive in the same result
+frame as computed ones (listed under ``"cached"``), are reported as
+``cell_cached`` events tagged with the worker's address, and are
+written back into the client's own store tiers by the engine -- so a
+second client, or a rerun after a crash, pays only the key exchange.
+
 Failure semantics: a worker that cannot be reached, or that dies
 mid-shard, is reported with a ``worker_lost`` event and its shards are
 re-dispatched to the surviving workers (results are unaffected --
@@ -27,23 +38,34 @@ need fails the run with an actionable error (pointing at
 ``REPRO_BOOTSTRAP`` and the worker ``--bootstrap`` flag) *before* any
 compute is wasted.
 
-Wire protocol (version 1): each frame is a 4-byte big-endian length
+Wire protocol (version 2): each frame is a 4-byte big-endian length
 followed by that many bytes of UTF-8 canonical JSON
 (:func:`repro.serialization.canonical_json` -- sorted keys, numpy
 scalars coerced).  Requests are ``{"op": ...}`` objects; responses
 carry ``"ok"``; ``run_batches`` responses are preceded by zero or more
-``{"op": "event"}`` frames streamed during evaluation.
+``{"op": "event"}`` frames streamed during evaluation.  Batches travel
+as ``{"keys": [...], "specs": [[index, payload], ...]}`` -- ``specs``
+is sparse, omitting cells the worker promised to serve from its store.
+Workers configured with a shared-secret token (``--token`` /
+``REPRO_WORKER_TOKEN``) advertise ``auth_required`` plus a per-
+connection nonce in the hello response; the client must answer with
+an ``auth`` frame carrying ``HMAC-SHA256(token, nonce)`` before any
+other op.  A mismatch closes the connection, and unauthenticated
+frames are capped at :data:`PREAUTH_MAX_FRAME_BYTES` -- no shard
+payload is ever buffered or dispatched pre-auth.
 """
 
 from __future__ import annotations
 
+import hashlib
+import hmac
 import json
 import socket
 import struct
 import threading
 import time
 from collections import deque
-from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
+from typing import Any, Dict, FrozenSet, List, Optional, Sequence, Tuple, Union
 
 from repro.engine.cells import CellBatch, CellResult, CellSpec
 from repro.serialization import SCHEMA_VERSION, canonical_json
@@ -58,9 +80,12 @@ from .sharded import shard_of_batch
 
 __all__ = [
     "FrameTooLargeError",
+    "MAX_FRAME_BYTES",
+    "PREAUTH_MAX_FRAME_BYTES",
     "PROTOCOL_VERSION",
     "RemoteBackend",
     "RemoteProtocolError",
+    "auth_mac",
     "parse_worker_addresses",
     "recv_frame",
     "send_frame",
@@ -68,13 +93,21 @@ __all__ = [
 
 #: Bump when the frame layout or message vocabulary changes
 #: incompatibly; both ends refuse mismatched peers at handshake.
-PROTOCOL_VERSION = 1
+#: Version 2: sparse delta batch encoding, ``query_keys``, worker-side
+#: stores (``cached`` result field) and the HMAC auth handshake.
+PROTOCOL_VERSION = 2
 
 _HEADER = struct.Struct(">I")
 
 #: Refuse frames beyond this size (64 MiB): a corrupted length prefix
 #: must fail fast, not attempt a huge allocation.
 MAX_FRAME_BYTES = 64 * 1024 * 1024
+
+#: Frame-size cap a tokened worker applies *before* a connection has
+#: authenticated.  hello/auth frames are tiny; an unauthenticated peer
+#: must not be able to make the worker buffer or parse a shard-sized
+#: payload.
+PREAUTH_MAX_FRAME_BYTES = 4096
 
 
 class RemoteProtocolError(RuntimeError):
@@ -117,15 +150,22 @@ def _recv_exact(sock: socket.socket, n: int) -> Optional[bytes]:
     return b"".join(chunks)
 
 
-def recv_frame(sock: socket.socket) -> Optional[Dict[str, Any]]:
-    """Receive one frame, or ``None`` on a clean peer shutdown."""
+def recv_frame(
+    sock: socket.socket, max_bytes: int = MAX_FRAME_BYTES
+) -> Optional[Dict[str, Any]]:
+    """Receive one frame, or ``None`` on a clean peer shutdown.
+
+    ``max_bytes`` lowers the size cap for contexts where only small
+    frames are legitimate (a tokened worker's pre-auth phase); an
+    oversized announcement raises before any body byte is read.
+    """
     header = _recv_exact(sock, _HEADER.size)
     if header is None:
         return None
     (length,) = _HEADER.unpack(header)
-    if length > MAX_FRAME_BYTES:
+    if length > max_bytes:
         raise FrameTooLargeError(
-            f"frame of {length} bytes exceeds the {MAX_FRAME_BYTES} limit "
+            f"frame of {length} bytes exceeds the {max_bytes} limit "
             "(corrupted length prefix?)"
         )
     body = _recv_exact(sock, length)
@@ -187,36 +227,85 @@ def _address_label(address: Tuple[str, int]) -> str:
     return f"{address[0]}:{address[1]}"
 
 
-def _encode_batch(batch: CellBatch) -> Dict[str, Any]:
-    """Wire image of a :class:`CellBatch` (specs + optional keys)."""
+def auth_mac(token: str, nonce: str) -> str:
+    """HMAC-SHA256 proof for the auth handshake (hex digest).
+
+    The MAC covers the worker's per-connection ``nonce``, so a
+    captured proof cannot be replayed against another connection; the
+    shared-secret ``token`` itself never travels on the wire.
+    """
+    return hmac.new(
+        token.encode("utf-8"), nonce.encode("utf-8"), hashlib.sha256
+    ).hexdigest()
+
+
+def _with_keys(batch: CellBatch) -> CellBatch:
+    """The batch with content keys materialised (hashed if absent)."""
+    if batch.keys is not None:
+        return batch
+    return CellBatch(
+        specs=batch.specs, keys=tuple(spec.key() for spec in batch.specs)
+    )
+
+
+def _encode_batch(
+    batch: CellBatch, skip: FrozenSet[str] = frozenset()
+) -> Dict[str, Any]:
+    """Wire image of a :class:`CellBatch` (keys + sparse specs).
+
+    ``skip`` lists keys the worker promised to serve from its own
+    store (the delta protocol's hits); their specs are omitted from
+    the frame -- the worker resolves them by key.  ``batch.keys`` must
+    be materialised (see :func:`_with_keys`).
+    """
+    assert batch.keys is not None
     return {
-        "specs": [spec.to_payload() for spec in batch.specs],
-        "keys": list(batch.keys) if batch.keys is not None else None,
+        "keys": list(batch.keys),
+        "specs": [
+            [i, spec.to_payload()]
+            for i, (spec, key) in enumerate(zip(batch.specs, batch.keys))
+            if key not in skip
+        ],
     }
 
 
-def _decode_batch(payload: Dict[str, Any]) -> CellBatch:
-    """Rebuild a :class:`CellBatch` from its wire image.
+def _decode_delta_batch(
+    payload: Dict[str, Any],
+) -> Tuple[List[str], Dict[int, CellSpec]]:
+    """Rebuild ``(keys, {position: spec})`` from a batch wire image.
 
-    Raises ``ValueError`` when a spec names a scheme this process has
-    not registered (``CellSpec`` validates on construction) -- the
-    worker converts that into a ``registry`` error frame.
+    ``specs`` is sparse: positions absent from it must be served from
+    the worker's store by key.  Raises ``ValueError``/``KeyError``
+    when a spec names a scheme this process has not registered
+    (``CellSpec`` validates on construction) -- the worker converts
+    that into a ``registry`` error frame.
     """
-    return CellBatch(
-        specs=tuple(CellSpec.from_payload(p) for p in payload["specs"]),
-        keys=tuple(payload["keys"]) if payload.get("keys") else None,
-    )
+    keys = [str(k) for k in payload["keys"]]
+    sparse: Dict[int, CellSpec] = {}
+    for index, spec_payload in payload.get("specs", ()):
+        position = int(index)
+        if not (0 <= position < len(keys)):
+            raise ValueError(
+                f"spec index {position} out of range for a "
+                f"{len(keys)}-cell batch"
+            )
+        sparse[position] = CellSpec.from_payload(spec_payload)
+    return keys, sparse
 
 
 class _WorkerLink:
     """One client connection to one remote worker."""
 
     def __init__(
-        self, address: Tuple[str, int], connect_timeout: float
+        self,
+        address: Tuple[str, int],
+        connect_timeout: float,
+        token: Optional[str] = None,
     ) -> None:
         self.address = address
         self.label = _address_label(address)
         self.connect_timeout = connect_timeout
+        self.token = token
         self._sock: Optional[socket.socket] = None
         self.hello: Dict[str, Any] = {}
 
@@ -268,11 +357,38 @@ class _WorkerLink:
                     f"{__version__}; results would not share cache keys "
                     "-- align the versions"
                 )
+            if reply.get("auth_required"):
+                self._authenticate(sock, reply)
             self.hello = reply
         except BaseException:
             sock.close()
             raise
         self._sock = sock
+
+    def _authenticate(
+        self, sock: socket.socket, hello: Dict[str, Any]
+    ) -> None:
+        """Answer the worker's HMAC challenge (shared-secret token)."""
+        if not self.token:
+            raise RemoteProtocolError(
+                f"worker {self.label} requires an auth token; pass "
+                "--token (or set REPRO_WORKER_TOKEN) with the secret "
+                "the worker was started with"
+            )
+        nonce = str(hello.get("nonce") or "")
+        if not nonce:
+            raise RemoteProtocolError(
+                f"worker {self.label} requires auth but sent no nonce"
+            )
+        send_frame(sock, {"op": "auth", "mac": auth_mac(self.token, nonce)})
+        reply = recv_frame(sock)
+        if reply is None or not reply.get("ok"):
+            raise RemoteProtocolError(
+                f"worker {self.label} rejected the auth token: "
+                f"{(reply or {}).get('error', 'connection closed')} -- "
+                "check that --token/REPRO_WORKER_TOKEN matches on both "
+                "sides"
+            )
 
     def close(self) -> None:
         """Drop the connection (idempotent)."""
@@ -323,6 +439,16 @@ class RemoteBackend(ExecutorBackend):
         and go.
     connect_timeout:
         Seconds to wait for a TCP connect + handshake per worker.
+    token:
+        Shared-secret auth token (the worker's ``--token`` /
+        ``REPRO_WORKER_TOKEN``).  Sent as an HMAC proof over the
+        worker's handshake nonce; never transmitted in the clear.
+        ``None`` connects only to workers that do not require auth.
+    delta:
+        Whether to use the two-phase delta dispatch against workers
+        that advertise a result store (default).  ``False`` always
+        ships full specs -- a diagnostic escape hatch; results are
+        identical either way.
     """
 
     name = "remote"
@@ -331,6 +457,8 @@ class RemoteBackend(ExecutorBackend):
         self,
         workers: Union[str, Sequence],
         connect_timeout: float = 10.0,
+        token: Optional[str] = None,
+        delta: bool = True,
     ) -> None:
         # dedupe while preserving order: a repeated address would make
         # two drain threads share one socket and corrupt the framing
@@ -338,8 +466,10 @@ class RemoteBackend(ExecutorBackend):
             dict.fromkeys(parse_worker_addresses(workers))
         )
         self.connect_timeout = float(connect_timeout)
+        self.token = token
+        self.delta = bool(delta)
         self._links: Dict[Tuple[str, int], _WorkerLink] = {
-            address: _WorkerLink(address, self.connect_timeout)
+            address: _WorkerLink(address, self.connect_timeout, token)
             for address in self.addresses
         }
         # one worker_lost per outage, not one per dispatch attempt
@@ -467,6 +597,51 @@ class RemoteBackend(ExecutorBackend):
     # ------------------------------------------------------------------
     # dispatch
     # ------------------------------------------------------------------
+    def _request_shard(
+        self,
+        link: _WorkerLink,
+        shard: int,
+        members: Sequence[int],
+        batches: Sequence[CellBatch],
+    ) -> Tuple[Dict[str, Any], List[Dict[str, Any]]]:
+        """One shard round trip, delta-aware.
+
+        Against a worker advertising a result store (``caching`` in
+        its hello), dispatch is two-phase: ``query_keys`` with every
+        cell key in the shard first, then a ``run_batches`` frame
+        whose spec list omits the worker's hits.  If the worker lost
+        a promised hit between the phases (a concurrent ``repro
+        cache prune``/``clear``), it answers with a ``cache_miss``
+        error and the shard is re-sent once with full specs --
+        correctness never depends on the worker's store.  Socket
+        trouble raises ``OSError``/``RemoteProtocolError`` for the
+        caller's failover handling.
+        """
+        hits: FrozenSet[str] = frozenset()
+        if self.delta and link.hello.get("caching"):
+            keys = [key for i in members for key in batches[i].keys]
+            reply, _ = link.request({"op": "query_keys", "keys": keys})
+            if reply.get("ok"):
+                hits = frozenset(reply.get("hits", ())) & frozenset(keys)
+        reply, events = link.request(
+            {
+                "op": "run_batches",
+                "shard": shard,
+                "batches": [
+                    _encode_batch(batches[i], skip=hits) for i in members
+                ],
+            }
+        )
+        if not reply.get("ok") and reply.get("kind") == "cache_miss" and hits:
+            reply, events = link.request(
+                {
+                    "op": "run_batches",
+                    "shard": shard,
+                    "batches": [_encode_batch(batches[i]) for i in members],
+                }
+            )
+        return reply, events
+
     def run(
         self,
         specs: Sequence[CellSpec],
@@ -495,9 +670,19 @@ class RemoteBackend(ExecutorBackend):
         :func:`~repro.engine.backends.sharded.shard_of_batch` over the
         *configured* worker count; shard -> worker placement is a
         work-queue (surviving workers drain shards of lost ones).
+        Against workers advertising a result store, each shard ships
+        as the two-phase delta protocol (see :meth:`_request_shard`);
+        worker-store hits surface as ``cell_cached`` events tagged
+        with the worker's address.
         """
         if not batches:
             return []
+        batches = [_with_keys(batch) for batch in batches]
+        spec_by_key: Dict[str, CellSpec] = {
+            key: spec
+            for batch in batches
+            for spec, key in zip(batch.specs, batch.keys)
+        }
         emit_lock = threading.Lock()
 
         def locked_emit(kind: str, **data: Any) -> None:
@@ -530,16 +715,11 @@ class RemoteBackend(ExecutorBackend):
                     n_cells=n_cells,
                     worker=link.label,
                 )
-                request = {
-                    "op": "run_batches",
-                    "shard": shard,
-                    "batches": [
-                        _encode_batch(batches[i]) for i in members
-                    ],
-                }
                 start = time.perf_counter()
                 try:
-                    reply, events = link.request(request)
+                    reply, events = self._request_shard(
+                        link, shard, members, batches
+                    )
                 except FrameTooLargeError as exc:
                     # deterministic for this payload: retrying on
                     # another worker would fail identically
@@ -564,6 +744,11 @@ class RemoteBackend(ExecutorBackend):
                     [CellResult.from_payload(p) for p in group]
                     for group in reply["batches"]
                 ]
+                cached = [
+                    key
+                    for key in reply.get("cached", ())
+                    if key in spec_by_key
+                ]
                 with emit_lock:
                     # forward the worker's buffered events only now --
                     # a shard that failed over never double-reports
@@ -571,11 +756,25 @@ class RemoteBackend(ExecutorBackend):
                         data = dict(frame.get("data") or {})
                         data.setdefault("worker", link.label)
                         emit(frame.get("kind", "worker_event"), **data)
+                    # cells the worker served from its own store: no
+                    # compute happened anywhere, so they surface as
+                    # cache hits, tagged with where the hit landed
+                    for key in cached:
+                        spec = spec_by_key[key]
+                        emit(
+                            "cell_cached",
+                            benchmark=spec.benchmark,
+                            stage=spec.stage,
+                            scheme=spec.scheme,
+                            interval=spec.interval,
+                            worker=link.label,
+                        )
                     emit(
                         "shard_finished",
                         shard=shard,
                         n_shards=n_shards,
                         n_cells=n_cells,
+                        n_cached=len(cached),
                         worker=link.label,
                         seconds=round(time.perf_counter() - start, 6),
                     )

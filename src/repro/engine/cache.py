@@ -1,34 +1,35 @@
-"""Content-addressed result cache: in-memory always, on-disk optional.
+"""Content-addressed result cache: the engine's default store stack.
 
-The cache stores *payloads* -- plain JSON-serialisable dicts produced
-by the cell and experiment codecs -- under content-hash keys (see
-:mod:`repro.engine.serialize`).  The in-memory layer makes repeated
-sub-problems free within one session (e.g. the offline SynTS totals
-shared by ``headline`` and ``fig_6_18``); the optional directory
-layer persists them across sessions and processes, which is what the
-CLI's ``--cache-dir`` and CI's warm-run jobs use.
+Historically this module *was* the cache implementation; the storage
+layers now live in the pluggable :mod:`repro.engine.store` subsystem
+(:class:`~repro.engine.store.memory.MemoryStore`,
+:class:`~repro.engine.store.jsondir.JsonDirStore`,
+:class:`~repro.engine.store.tiered.TieredStore`).  :class:`ResultCache`
+remains as the convenience facade the engine and the tests build by
+default -- a tiered memory(+disk) store with the original accounting
+surface (:class:`CacheStats`, ``disk_hits`` included) and the original
+semantics: ``clear()`` drops the memory tier only, corrupt on-disk
+entries are misses reported through ``on_corrupt``, writes are atomic.
 
-Writes are atomic (tmp file + ``os.replace``) so a parallel run's
-workers and a concurrent second session can share one directory.
+New code that wants a specific layering should build a store directly
+(or via :func:`repro.engine.store.make_store`) and hand it to
+``ExperimentEngine(store=...)``.
 """
 
 from __future__ import annotations
 
-import json
-import os
-import tempfile
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from pathlib import Path
-from typing import Any, Callable, Dict, Optional
+from typing import Any, Callable, Dict, List, Optional, Union
 
-from .serialize import sanitize
+from .store import JsonDirStore, MemoryStore, TieredStore
 
 __all__ = ["CacheStats", "ResultCache"]
 
 
 @dataclass
 class CacheStats:
-    """Hit/miss accounting for one cache instance."""
+    """Aggregate hit/miss accounting for one :class:`ResultCache`."""
 
     hits: int = 0
     misses: int = 0
@@ -58,73 +59,64 @@ class CacheStats:
         }
 
 
-@dataclass
 class ResultCache:
-    """Two-level (memory, optional disk) payload store.
+    """Tiered (memory, optional disk) payload store facade.
 
-    Attributes
+    Parameters
     ----------
     cache_dir:
-        When set, every payload is mirrored to
-        ``<cache_dir>/<key[:2]>/<key>.json`` and lookups fall back to
-        disk on a memory miss.  ``None`` keeps the cache in-memory
-        only.
+        When set, a :class:`JsonDirStore` persistent tier mirrors
+        every payload to ``<cache_dir>/<key[:2]>/<key>.json`` and
+        lookups fall back to disk on a memory miss.  ``None`` keeps
+        the cache in-memory only.
     on_corrupt:
         Optional ``(key, path, error)`` callback invoked when a disk
         entry is unreadable (truncated write, bit rot); the engine
         wires this to its event stream.  Corrupt entries are treated
         as misses -- recomputed and atomically overwritten -- never
-        raised out of a warm rerun.
+        raised out of a warm rerun.  The attribute stays assignable
+        after construction (the engine chains its emitter through it).
     """
 
-    cache_dir: Optional[Path] = None
-    stats: CacheStats = field(default_factory=CacheStats)
-    on_corrupt: Optional[Callable[[str, str, str], None]] = None
-    _memory: Dict[str, Any] = field(default_factory=dict)
-
-    def __post_init__(self):
+    def __init__(
+        self,
+        cache_dir: Optional[Union[str, Path]] = None,
+        on_corrupt: Optional[Callable[[str, str, str], None]] = None,
+    ) -> None:
+        """Build the memory(+disk) tier stack."""
+        self.cache_dir = Path(cache_dir) if cache_dir is not None else None
+        self._memory = MemoryStore()
+        self._disk: Optional[JsonDirStore] = None
+        tiers: List[Any] = [self._memory]
         if self.cache_dir is not None:
-            self.cache_dir = Path(self.cache_dir)
-            try:
-                self.cache_dir.mkdir(parents=True, exist_ok=True)
-            except (FileExistsError, NotADirectoryError) as exc:
-                raise ValueError(
-                    f"cache dir {self.cache_dir} is not a directory"
-                ) from exc
+            self._disk = JsonDirStore(self.cache_dir)
+            tiers.append(self._disk)
+        self._store = TieredStore(tiers)
+        # a stable trampoline, so reassigning self.on_corrupt later
+        # (the engine's chaining) needs no store rewiring
+        self._store.on_corrupt = self._fire_corrupt
+        self.on_corrupt = on_corrupt
+
+    def _fire_corrupt(self, key: str, path: str, error: str) -> None:
+        if self.on_corrupt is not None:
+            self.on_corrupt(key, path, error)
 
     # ------------------------------------------------------------------
-    def _path(self, key: str) -> Path:
-        assert self.cache_dir is not None
-        return self.cache_dir / key[:2] / f"{key}.json"
+    @property
+    def stats(self) -> CacheStats:
+        """Aggregate :class:`CacheStats` view over the tiers."""
+        aggregate = self._store.stats
+        return CacheStats(
+            hits=aggregate.hits,
+            misses=aggregate.misses,
+            disk_hits=self._disk.stats.hits if self._disk is not None else 0,
+            puts=aggregate.puts,
+            corrupt=aggregate.corrupt,
+        )
 
     def get(self, key: str) -> Optional[Any]:
         """Payload for ``key`` or ``None``; counts a hit or a miss."""
-        if key in self._memory:
-            self.stats.hits += 1
-            return self._memory[key]
-        if self.cache_dir is not None:
-            path = self._path(key)
-            payload = None
-            try:
-                with open(path, "r", encoding="utf-8") as fh:
-                    payload = json.load(fh)
-            except FileNotFoundError:
-                pass
-            except (OSError, ValueError) as exc:
-                # corrupt or truncated entry (interrupted writer, bit
-                # rot): a miss, not an error -- recomputation will
-                # atomically replace the file.  Surface it so degraded
-                # shared caches are diagnosable.
-                self.stats.corrupt += 1
-                if self.on_corrupt is not None:
-                    self.on_corrupt(key, str(path), repr(exc))
-            if payload is not None:
-                self._memory[key] = payload
-                self.stats.hits += 1
-                self.stats.disk_hits += 1
-                return payload
-        self.stats.misses += 1
-        return None
+        return self._store.get(key)
 
     def put(self, key: str, payload: Any) -> None:
         """Store a JSON-serialisable payload under ``key``.
@@ -134,44 +126,27 @@ class ResultCache:
         the same shapes; a payload with no JSON image raises
         ``TypeError`` before anything is stored.
         """
-        payload = sanitize(payload)
-        self._memory[key] = payload
-        self.stats.puts += 1
-        if self.cache_dir is None:
-            return
-        path = self._path(key)
-        # disk trouble (full/read-only filesystem) degrades to
-        # memory-only caching; anything else is a real bug and must
-        # surface
-        try:
-            path.parent.mkdir(parents=True, exist_ok=True)
-            # atomic publish: concurrent writers race benignly, and a
-            # reader never observes a half-written entry
-            fd, tmp = tempfile.mkstemp(
-                dir=path.parent, prefix=f".{key[:8]}.", suffix=".tmp"
-            )
-        except OSError:
-            return
-        try:
-            with os.fdopen(fd, "w", encoding="utf-8") as fh:
-                json.dump(payload, fh, separators=(",", ":"))
-            os.replace(tmp, path)
-        except BaseException as exc:
-            try:
-                os.unlink(tmp)
-            except OSError:
-                pass
-            if not isinstance(exc, OSError):
-                raise
+        self._store.put(key, payload)
 
     def __contains__(self, key: str) -> bool:
-        if key in self._memory:
-            return True
-        return self.cache_dir is not None and self._path(key).exists()
+        """Whether any tier holds ``key`` (no stats side effects)."""
+        return key in self._store
 
     def __len__(self) -> int:
+        """Entries currently held in the memory tier."""
         return len(self._memory)
 
     def clear(self) -> None:
         """Drop the in-memory layer (the disk layer is left intact)."""
         self._memory.clear()
+
+    # ------------------------------------------------------------------
+    # store-protocol surface (the engine treats caches and stores alike)
+    # ------------------------------------------------------------------
+    def describe(self) -> str:
+        """The underlying tier stack's description."""
+        return self._store.describe()
+
+    def tier_stats(self) -> List[Dict[str, Any]]:
+        """Per-tier stats records (memory first, then disk if any)."""
+        return self._store.tier_stats()

@@ -35,6 +35,7 @@ from .cache import CacheStats, ResultCache
 from .cells import CellResult, CellSpec, group_cells
 from .events import EngineEvent, EventCallback
 from .serialize import content_key
+from .store import ResultStore, make_store
 
 __all__ = ["ExperimentEngine"]
 
@@ -83,6 +84,14 @@ class ExperimentEngine:
         A :class:`ResultCache`; defaults to a fresh in-memory cache.
     cache_dir:
         Convenience: build the cache with this on-disk directory.
+    store:
+        A :class:`~repro.engine.store.ResultStore` instance, or a
+        registered store name (``memory`` / ``jsondir`` / ``tiered``,
+        the CLI's ``--store``).  A name is built through
+        :func:`~repro.engine.store.make_store` with ``cache_dir``
+        forwarded.  Mutually exclusive with ``cache``; when neither
+        is given the engine builds a :class:`ResultCache` (memory, or
+        memory+disk when ``cache_dir`` is set).
     backend:
         An :class:`ExecutorBackend` instance, or a registered backend
         name (``serial`` / ``thread`` / ``process`` / ``sharded`` /
@@ -105,9 +114,21 @@ class ExperimentEngine:
         backend: Union[ExecutorBackend, str, None] = None,
         shards: Optional[int] = None,
         remote_workers: Optional[Union[str, Sequence[str]]] = None,
+        store: Union[ResultStore, str, None] = None,
+        worker_token: Optional[str] = None,
     ):
         if cache is not None and cache_dir is not None:
             raise ValueError("pass either cache or cache_dir, not both")
+        if cache is not None and store is not None:
+            raise ValueError("pass either cache or store, not both")
+        if (
+            store is not None
+            and not isinstance(store, str)
+            and cache_dir is not None
+        ):
+            raise ValueError(
+                "pass either a prebuilt store or cache_dir, not both"
+            )
         if jobs is not None and int(jobs) < 0:
             raise ValueError(f"jobs must be non-negative, got {jobs}")
         self.jobs = max(1, int(jobs or 1))
@@ -126,12 +147,21 @@ class ExperimentEngine:
                 workers=self.jobs,
                 shards=shards,
                 remote_workers=remote_workers,
+                worker_token=worker_token,
             )
-        self.cache = (
-            cache
-            if cache is not None
-            else ResultCache(cache_dir=cache_dir)  # type: ignore[arg-type]
-        )
+        if isinstance(store, str):
+            self.cache = make_store(store, cache_dir=cache_dir)
+        elif store is not None:
+            self.cache = store
+        else:
+            self.cache = (
+                cache
+                if cache is not None
+                else ResultCache(cache_dir=cache_dir)  # type: ignore[arg-type]
+            )
+        #: Alias for the configured store (``cache`` predates the
+        #: pluggable store subsystem and remains the canonical slot).
+        self.store = self.cache
         # corrupt on-disk entries are skipped, counted and surfaced
         # through the event stream rather than crashing warm reruns;
         # a callback already on a caller-supplied (or shared) cache
@@ -162,8 +192,27 @@ class ExperimentEngine:
 
     @property
     def stats(self) -> CacheStats:
-        """Hit/miss accounting of this engine's result cache."""
+        """Hit/miss accounting of this engine's result store.
+
+        A :class:`CacheStats` for the default :class:`ResultCache`, a
+        :class:`~repro.engine.store.StoreStats` for a custom store --
+        both expose ``hits`` / ``misses`` / ``puts`` / ``corrupt``
+        and ``as_dict()``.
+        """
         return self.cache.stats
+
+    def store_stats(self) -> List[Dict[str, Any]]:
+        """Per-tier stats records of the configured store.
+
+        One record per tier for tiered stores, a single record
+        otherwise; each is ``{"store": <description>, hits, misses,
+        puts, corrupt, ...}``.  Flows into the ``store_stats`` event
+        and the CLI's ``--stats`` output.
+        """
+        tier_stats = getattr(self.cache, "tier_stats", None)
+        if tier_stats is not None:
+            return tier_stats()
+        return [{"store": "cache", **self.cache.stats.as_dict()}]
 
     def close(self) -> None:
         """Release the backend and detach from the shared cache."""
@@ -257,20 +306,35 @@ class ExperimentEngine:
             # cache keys and result alignment are untouched -- batches
             # are reassembled through the same key-indexed mapping.
             batches = group_cells(pending, keys=pending_keys)
-            n_computed = 0
+            # a cache-keeping remote worker serves some dispatched
+            # cells from its own store and reports them as cell_cached
+            # (worker-tagged) instead of cell_computed; tally those so
+            # the computed counters describe actual evaluations
+            worker_cached = 0
+
+            def dispatch_emit(kind: str, **data: Any) -> None:
+                nonlocal worker_cached
+                if kind == "cell_cached":
+                    worker_cached += 1
+                self._emit(kind, **data)
+
+            n_returned = 0
             for batch, cells in zip(
-                batches, self.backend.run_batches(batches, self._emit)
+                batches, self.backend.run_batches(batches, dispatch_emit)
             ):
                 for key, cell in zip(batch.keys, cells):
                     self.cache.put(key, cell.to_payload())
                     results[key] = cell
-                    n_computed += 1
+                    n_returned += 1
+            n_computed = n_returned - worker_cached
             self.cells_computed += n_computed
             self._emit(
                 "batch_finished",
                 n_computed=n_computed,
+                n_worker_cached=worker_cached,
                 seconds=round(time.perf_counter() - start, 6),
             )
+            self._emit("store_stats", tiers=self.store_stats())
 
         return [results[key] for key in keys]
 

@@ -42,11 +42,15 @@ def engine_session(
     backend: Optional[str] = None,
     shards: Optional[int] = None,
     remote_workers: Optional[str] = None,
+    store: Optional[str] = None,
+    worker_token: Optional[str] = None,
 ) -> Iterator[ExperimentEngine]:
     """Scope a configured (or prebuilt) engine as the session default.
 
     The previous engine is restored on exit; the scoped engine's
-    worker pool (or remote connections) is shut down.
+    worker pool (or remote connections) is shut down.  ``store``
+    names a registered result store (the CLI's ``--store``);
+    ``worker_token`` is the remote backend's shared-secret auth token.
     """
     if engine is None:
         engine = ExperimentEngine(
@@ -55,10 +59,20 @@ def engine_session(
             backend=backend,
             shards=shards,
             remote_workers=remote_workers,
+            store=store,
+            worker_token=worker_token,
         )
     elif any(
         opt is not None
-        for opt in (jobs, cache_dir, backend, shards, remote_workers)
+        for opt in (
+            jobs,
+            cache_dir,
+            backend,
+            shards,
+            remote_workers,
+            store,
+            worker_token,
+        )
     ):
         raise ValueError("pass either a prebuilt engine or its options")
     previous = _default_engine

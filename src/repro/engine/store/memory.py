@@ -1,0 +1,44 @@
+"""In-memory result store: the always-on top tier."""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Optional
+
+from .base import ResultStore
+
+__all__ = ["MemoryStore"]
+
+
+class MemoryStore(ResultStore):
+    """Dict-backed store; the fastest tier and the volatile default.
+
+    Payloads live for the process lifetime only.  A fresh
+    :class:`MemoryStore` per engine is what makes repeated
+    sub-problems free within one session (e.g. the offline SynTS
+    totals shared by ``headline`` and ``fig_6_18``).
+    """
+
+    name = "memory"
+
+    def __init__(self) -> None:
+        """Create an empty store."""
+        super().__init__()
+        self._entries: Dict[str, Any] = {}
+
+    def _get(self, key: str) -> Optional[Any]:
+        return self._entries.get(key)
+
+    def _put(self, key: str, payload: Any) -> None:
+        self._entries[key] = payload
+
+    def __contains__(self, key: str) -> bool:
+        """Whether ``key`` is held in memory."""
+        return key in self._entries
+
+    def __len__(self) -> int:
+        """Number of entries currently held."""
+        return len(self._entries)
+
+    def clear(self) -> None:
+        """Drop every entry."""
+        self._entries.clear()

@@ -86,6 +86,12 @@ class TestFactory:
         with pytest.raises(ValueError, match="--backend remote"):
             make_backend("sharded", remote_workers="h:1")
 
+    def test_other_backends_reject_token_actionably(self):
+        """`--token` without `--backend remote` must name the flag's
+        remedy, not the internal option name alone."""
+        with pytest.raises(ValueError, match="--backend remote"):
+            make_backend("process", workers=2, worker_token="s3cret")
+
     def test_engine_defaults_to_remote_when_workers_given(self):
         eng = ExperimentEngine(remote_workers="host1:7700")
         assert eng.backend.name == "remote"  # connects lazily
@@ -337,6 +343,259 @@ def _workload_names():
     return workload_names()
 
 
+class TestAuthToken:
+    """Shared-secret worker auth: HMAC over the handshake nonce."""
+
+    @pytest.fixture(scope="class")
+    def authed_workers(self):
+        processes, addresses = start_loopback_workers(
+            1, extra_args=["--token", "sesame"]
+        )
+        yield addresses
+        stop_workers(processes)
+
+    def test_matching_token_runs(self, authed_workers):
+        specs = list(benchmark_specs("radix", "decode", "synts"))
+        with ExperimentEngine(backend="serial") as eng:
+            reference = eng.run_cells(specs)
+        with ExperimentEngine(
+            backend="remote",
+            remote_workers=authed_workers,
+            worker_token="sesame",
+        ) as eng:
+            assert eng.run_cells(specs) == reference
+
+    def test_token_from_environment(self, authed_workers, monkeypatch):
+        monkeypatch.setenv("REPRO_WORKER_TOKEN", "sesame")
+        specs = list(benchmark_specs("fmm", "decode", "nominal"))
+        with ExperimentEngine(backend="serial") as eng:
+            reference = eng.run_cells(specs)
+        with ExperimentEngine(
+            backend="remote", remote_workers=authed_workers
+        ) as eng:
+            assert eng.run_cells(specs) == reference
+
+    def test_missing_token_rejected_actionably(self, authed_workers):
+        eng = ExperimentEngine(
+            backend="remote", remote_workers=authed_workers
+        )
+        log = eng.subscribe(EventLog())
+        with pytest.raises(RuntimeError, match="REPRO_WORKER_TOKEN"):
+            eng.run_cells(list(benchmark_specs("radix", "decode", "synts")))
+        assert log.of_kind("cell_computed") == []
+        eng.close()
+
+    def test_wrong_token_rejected_before_any_payload(self, authed_workers):
+        eng = ExperimentEngine(
+            backend="remote",
+            remote_workers=authed_workers,
+            worker_token="not-sesame",
+        )
+        log = eng.subscribe(EventLog())
+        with pytest.raises(RuntimeError, match="token"):
+            eng.run_cells(list(benchmark_specs("radix", "decode", "synts")))
+        assert log.of_kind("shard_started") == []
+        assert log.of_kind("cell_computed") == []
+        eng.close()
+
+    def test_unauthed_payload_op_is_refused(self, authed_workers):
+        """A client that skips the auth step is cut off before any
+        payload op is served."""
+        from repro.engine.backends.remote import (
+            parse_worker_addresses,
+            recv_frame,
+            send_frame,
+        )
+        import socket
+
+        (address,) = parse_worker_addresses(authed_workers)
+        with socket.create_connection(address, timeout=10) as sock:
+            send_frame(sock, {"op": "registries"})
+            reply = recv_frame(sock)
+            assert reply is not None and not reply.get("ok")
+            assert reply.get("kind") == "auth"
+            # the worker closed the connection after refusing
+            assert recv_frame(sock) is None
+
+    def test_unauthed_large_frame_is_dropped_unparsed(
+        self, authed_workers
+    ):
+        """Pre-auth frames are size-capped: an unauthenticated peer
+        announcing a shard-sized frame is disconnected before the
+        worker buffers or parses any of it."""
+        import socket
+        import struct
+
+        from repro.engine.backends.remote import (
+            PREAUTH_MAX_FRAME_BYTES,
+            parse_worker_addresses,
+            recv_frame,
+        )
+
+        (address,) = parse_worker_addresses(authed_workers)
+        with socket.create_connection(address, timeout=10) as sock:
+            # announce a frame just over the pre-auth cap; never
+            # authenticate
+            sock.sendall(struct.pack(">I", PREAUTH_MAX_FRAME_BYTES + 1))
+            sock.sendall(b"{")  # the worker should not wait for more
+            sock.settimeout(10)
+            assert recv_frame(sock) is None  # connection closed
+
+    def test_tokenless_worker_ignores_client_token(self, loopback_workers):
+        specs = list(benchmark_specs("radix", "decode", "synts"))
+        with ExperimentEngine(backend="serial") as eng:
+            reference = eng.run_cells(specs)
+        with ExperimentEngine(
+            backend="remote",
+            remote_workers=loopback_workers,
+            worker_token="unneeded",
+        ) as eng:
+            assert eng.run_cells(specs) == reference
+
+    def test_auth_mac_is_deterministic_hmac(self):
+        import hashlib
+        import hmac as hmac_mod
+
+        from repro.engine.backends.remote import auth_mac
+
+        expected = hmac_mod.new(
+            b"tok", b"nonce", hashlib.sha256
+        ).hexdigest()
+        assert auth_mac("tok", "nonce") == expected
+        assert auth_mac("tok", "other") != expected
+
+
+class TestDeltaProtocol:
+    """Worker-side store advertisement and the two-phase dispatch."""
+
+    @pytest.fixture()
+    def caching_worker(self, tmp_path):
+        # jsondir (no memory tier) so tests can mutate the store
+        # externally through the shared directory
+        processes, addresses = start_loopback_workers(
+            1,
+            extra_args=[
+                "--store",
+                "jsondir",
+                "--cache-dir",
+                str(tmp_path / "wstore"),
+            ],
+        )
+        yield addresses
+        stop_workers(processes)
+
+    def test_hello_advertises_caching(self, caching_worker, loopback_workers):
+        from repro.engine.backends.remote import (
+            _WorkerLink,
+            parse_worker_addresses,
+        )
+
+        (cached_addr,) = parse_worker_addresses(caching_worker)
+        link = _WorkerLink(cached_addr, connect_timeout=10)
+        link.connect()
+        assert link.hello.get("caching") is True
+        link.close()
+        plain_addr = parse_worker_addresses(loopback_workers)[0]
+        link = _WorkerLink(plain_addr, connect_timeout=10)
+        link.connect()
+        assert link.hello.get("caching") is False
+        link.close()
+
+    def test_query_keys_reports_store_hits(self, caching_worker):
+        from repro.engine.backends.remote import (
+            _WorkerLink,
+            parse_worker_addresses,
+        )
+
+        specs = list(benchmark_specs("radix", "decode", "synts"))
+        keys = [spec.key() for spec in specs]
+        (address,) = parse_worker_addresses(caching_worker)
+        link = _WorkerLink(address, connect_timeout=10)
+        link.connect()
+        try:
+            reply, _ = link.request({"op": "query_keys", "keys": keys})
+            assert reply["ok"] and reply["hits"] == []
+            with ExperimentEngine(
+                backend="remote", remote_workers=caching_worker
+            ) as eng:
+                eng.run_cells(specs)
+            reply, _ = link.request({"op": "query_keys", "keys": keys})
+            assert sorted(reply["hits"]) == sorted(keys)
+        finally:
+            link.close()
+
+    def test_mismatched_client_key_is_not_persisted(self, caching_worker):
+        """The worker refuses to store a computed cell under a
+        client-sent key that is not the spec's content key -- one
+        buggy or hostile client must not poison the shared store."""
+        from repro.engine.backends.remote import (
+            _WorkerLink,
+            parse_worker_addresses,
+        )
+
+        spec = benchmark_specs("radix", "decode", "synts")[0]
+        bogus = "ab" + "0" * 62
+        (address,) = parse_worker_addresses(caching_worker)
+        link = _WorkerLink(address, connect_timeout=10)
+        link.connect()
+        try:
+            reply, _ = link.request(
+                {
+                    "op": "run_batches",
+                    "shard": 0,
+                    "batches": [
+                        {"keys": [bogus], "specs": [[0, spec.to_payload()]]}
+                    ],
+                }
+            )
+            # the requester still gets its computed result...
+            assert reply["ok"] and reply["batches"][0][0]["spec"]
+            # ...but nothing was stored, under either key
+            reply, _ = link.request(
+                {"op": "query_keys", "keys": [bogus, spec.key()]}
+            )
+            assert reply["hits"] == []
+        finally:
+            link.close()
+
+    def test_promised_hit_vanishing_falls_back_to_full_specs(
+        self, caching_worker, tmp_path
+    ):
+        """Clearing the worker store between the phases triggers the
+        cache_miss fallback; the run still succeeds bit-identically."""
+        from repro.engine.backends.remote import RemoteBackend
+
+        specs = list(benchmark_specs("radix", "decode", "synts"))
+        with ExperimentEngine(backend="serial") as eng:
+            reference = eng.run_cells(specs)
+        with ExperimentEngine(
+            backend="remote", remote_workers=caching_worker
+        ) as eng:
+            eng.run_cells(specs)  # warm the worker store
+
+        backend = RemoteBackend(caching_worker)
+        original = backend._request_shard
+
+        def clear_between_phases(link, shard, members, batches):
+            # simulate a concurrent `repro cache clear` on the worker
+            # by wiping its store between query_keys and run_batches
+            from repro.engine.store import JsonDirStore
+
+            hits_probe = link.request(
+                {
+                    "op": "query_keys",
+                    "keys": [k for i in members for k in batches[i].keys],
+                }
+            )[0]
+            assert hits_probe["hits"], "worker store should be warm"
+            JsonDirStore(tmp_path / "wstore").clear()
+            return original(link, shard, members, batches)
+
+        backend._request_shard = clear_between_phases
+        with ExperimentEngine(backend=backend) as eng:
+            assert eng.run_cells(specs) == reference
+
+
 class TestWorkerCLI:
     def test_worker_help_exits_zero(self, capsys):
         from repro.__main__ import main
@@ -346,6 +605,33 @@ class TestWorkerCLI:
         assert err.value.code == 0
         out = capsys.readouterr().out
         assert "--serve" in out and "--bootstrap" in out
+        assert "--cache-dir" in out and "--token" in out
+
+    def test_engine_flags_before_worker_subcommand_survive(self):
+        """`repro --token S --cache-dir D worker ...` must not lose
+        the flags to the subparser's defaults -- a worker the operator
+        believes is token-protected must actually get the token."""
+        from repro.__main__ import _build_parser, _normalize_argv
+        from repro.experiments import EXPERIMENTS
+        from repro.experiments.ablations import ABLATIONS
+
+        parser = _build_parser(EXPERIMENTS, ABLATIONS)
+        args = parser.parse_args(
+            _normalize_argv(
+                [
+                    "--token",
+                    "sesame",
+                    "--cache-dir",
+                    "/tmp/w",
+                    "worker",
+                    "--serve",
+                    "127.0.0.1:1",
+                ],
+                EXPERIMENTS,
+            )
+        )
+        assert getattr(args, "token", None) == "sesame"
+        assert getattr(args, "cache_dir", None) == "/tmp/w"
 
     def test_worker_bad_serve_address(self, capsys):
         from repro.__main__ import main

@@ -159,3 +159,134 @@ class TestEngineCLI:
         assert lines, "expected JSON event lines on stderr"
         events = [json.loads(ln)["event"] for ln in lines]
         assert "experiment_computed" in events or "experiment_cached" in events
+
+    def test_store_flag_memory(self, capsys):
+        assert main(["fig_4_7", "--store", "memory", "--stats"]) == 0
+        captured = capsys.readouterr()
+        assert "sampling" in captured.out.lower()
+        assert "store tier memory" in captured.err
+
+    def test_store_flag_tiered_reports_tiers(self, tmp_path, capsys):
+        cache = str(tmp_path / "cache")
+        assert main(
+            ["fig_4_7", "--store", "tiered", "--cache-dir", cache, "--stats"]
+        ) == 0
+        captured = capsys.readouterr()
+        assert "store tier memory" in captured.err
+        assert "store tier jsondir" in captured.err
+
+    def test_store_without_cache_dir_is_actionable(self, capsys):
+        assert main(["fig_4_7", "--store", "jsondir"]) == 2
+        assert "--cache-dir" in capsys.readouterr().err
+
+    def test_unknown_store_rejected(self):
+        with pytest.raises(SystemExit):  # argparse: invalid choice
+            main(["run", "fig_4_7", "--store", "s3"])
+
+
+class TestCacheCLI:
+    def _warm(self, cache_dir):
+        assert main(["run", "fig_4_7", "--cache-dir", cache_dir]) == 0
+
+    def test_info_empty_dir(self, tmp_path, capsys):
+        assert main(["cache", "info", "--cache-dir", str(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        assert "entries: 0" in out and str(tmp_path) in out
+
+    def test_info_after_run_counts_entries(self, tmp_path, capsys):
+        cache = str(tmp_path / "c")
+        self._warm(cache)
+        capsys.readouterr()
+        assert main(["cache", "info", "--cache-dir", cache]) == 0
+        out = capsys.readouterr().out
+        assert "entries: 0" not in out and "entries:" in out
+
+    def test_info_tiered_store_lists_tiers(self, tmp_path, capsys):
+        assert main(
+            [
+                "cache",
+                "info",
+                "--store",
+                "tiered",
+                "--cache-dir",
+                str(tmp_path),
+            ]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "tier memory" in out and "tier jsondir" in out
+
+    def test_prune_and_clear(self, tmp_path, capsys):
+        import json
+
+        cache = str(tmp_path / "c")
+        self._warm(cache)
+        capsys.readouterr()
+        # nothing is older than a week
+        assert main(
+            ["cache", "prune", "--older-than", "7d", "--cache-dir", cache]
+        ) == 0
+        assert "pruned 0 entries" in capsys.readouterr().out
+        # everything is older than zero seconds
+        assert main(
+            ["cache", "prune", "--older-than", "0s", "--cache-dir", cache]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "pruned" in out and "pruned 0 entries" not in out
+        # a pruned store rebuilds cleanly and clear empties it
+        self._warm(cache)
+        capsys.readouterr()
+        assert main(["cache", "clear", "--cache-dir", cache]) == 0
+        assert "cleared" in capsys.readouterr().out
+        assert main(["cache", "info", "--cache-dir", cache]) == 0
+        assert "entries: 0" in capsys.readouterr().out
+        # the on-disk layout stayed plain JSON throughout
+        self._warm(cache)
+        entries = list((tmp_path / "c").rglob("*.json"))
+        assert entries and all(
+            json.loads(p.read_text()) for p in entries
+        )
+
+    def test_prune_requires_older_than(self, tmp_path, capsys):
+        assert main(["cache", "prune", "--cache-dir", str(tmp_path)]) == 2
+        assert "--older-than" in capsys.readouterr().err
+
+    def test_prune_rejects_bad_duration(self, tmp_path, capsys):
+        assert main(
+            [
+                "cache",
+                "prune",
+                "--older-than",
+                "fortnight",
+                "--cache-dir",
+                str(tmp_path),
+            ]
+        ) == 2
+        assert "duration" in capsys.readouterr().err
+
+    def test_cache_without_dir_is_actionable(self, capsys):
+        assert main(["cache", "info"]) == 2
+        assert "--cache-dir" in capsys.readouterr().err
+
+    def test_cache_dir_before_subcommand_survives(self, tmp_path, capsys):
+        """`repro --cache-dir D cache info` must see D (subparser
+        defaults must not clobber pre-subcommand engine flags)."""
+        assert main(["--cache-dir", str(tmp_path), "cache", "info"]) == 0
+        assert str(tmp_path) in capsys.readouterr().out
+
+    def test_duration_parsing(self):
+        from repro.__main__ import _parse_duration
+
+        assert _parse_duration("3600") == 3600.0
+        assert _parse_duration("30s") == 30.0
+        assert _parse_duration("15m") == 900.0
+        assert _parse_duration("12h") == 43200.0
+        assert _parse_duration("7d") == 604800.0
+        with pytest.raises(ValueError, match="duration"):
+            _parse_duration("7w")
+        with pytest.raises(ValueError, match="non-negative"):
+            _parse_duration("-5m")
+        # nan/inf must error, not silently prune nothing
+        with pytest.raises(ValueError, match="duration"):
+            _parse_duration("nan")
+        with pytest.raises(ValueError, match="duration"):
+            _parse_duration("inf")
